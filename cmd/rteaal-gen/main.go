@@ -1,0 +1,57 @@
+// Command rteaal-gen synthesises the benchmark designs of the paper's
+// evaluation and emits them as FIRRTL text.
+//
+//	rteaal-gen -family rocket -cores 4 -scale 16 > rocket4.fir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rteaal/internal/firrtl"
+	"rteaal/internal/gen"
+)
+
+func main() {
+	family := flag.String("family", "rocket", "design family: rocket|small|gemmini|sha3")
+	cores := flag.Int("cores", 1, "core count (rocket/small) or grid size (gemmini)")
+	scale := flag.Int("scale", 1, "size divisor (1 = calibrated full size)")
+	stats := flag.Bool("stats", false, "print design statistics instead of FIRRTL")
+	flag.Parse()
+
+	var fam gen.Family
+	switch *family {
+	case "rocket":
+		fam = gen.Rocket
+	case "small", "boom":
+		fam = gen.Boom
+	case "gemmini":
+		fam = gen.Gemmini
+	case "sha3":
+		fam = gen.SHA3
+	default:
+		fatal(fmt.Errorf("unknown family %q", *family))
+	}
+	spec := gen.Spec{Family: fam, Cores: *cores, Scale: *scale}
+	g, err := gen.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		st := g.ComputeStats()
+		fmt.Printf("design %s: %d nodes, %d ops, %d regs, %d inputs, %d edges\n",
+			spec.Name(), st.Nodes, st.Ops, st.Regs, st.Inputs, st.TotalEdges)
+		return
+	}
+	src, err := firrtl.Emit(g)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(src)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rteaal-gen:", err)
+	os.Exit(1)
+}

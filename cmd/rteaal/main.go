@@ -1,0 +1,92 @@
+// Command rteaal compiles a FIRRTL design through the RTeAAL Sim pipeline
+// and simulates it: parse → optimise → levelize → OIM → kernel (Figure 14).
+//
+//	rteaal -kernel PSU -cycles 1000 -vcd out.vcd design.fir
+//
+// With -dump-oim the generated tensor is written as JSON instead of
+// simulating, matching the paper's compiler output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rteaal/internal/core"
+	"rteaal/internal/kernel"
+	"rteaal/internal/testbench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rteaal:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kernelName := flag.String("kernel", "PSU", "kernel configuration (RU|OU|NU|PSU|IU|SU|TI)")
+	cycles := flag.Int64("cycles", 100, "cycles to simulate")
+	seed := flag.Int64("seed", 1, "random stimulus seed")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform to this file")
+	dumpOIM := flag.Bool("dump-oim", false, "write the OIM tensor as JSON to stdout and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: rteaal [flags] design.fir")
+	}
+
+	kind, err := kernel.ParseKind(*kernelName)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	sim, err := core.CompileFIRRTL(string(src), core.Options{Kernel: kind, Waveform: *vcdPath != ""})
+	if err != nil {
+		return err
+	}
+
+	t := sim.Tensor
+	fmt.Printf("design %s: %d ops in %d layers, %d slots, %d registers, OIM density %.2e\n",
+		t.Design, t.TotalOps(), t.NumLayers(), t.NumSlots, len(t.RegSlots), t.Density())
+	fmt.Printf("identity ops before elision: %d (%.1fx effectual)\n",
+		t.IdentityOps, float64(t.IdentityOps)/float64(max64(t.EffectualOps, 1)))
+
+	if *dumpOIM {
+		return t.WriteJSON(os.Stdout)
+	}
+
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sim.EnableWaveform(f); err != nil {
+			return err
+		}
+		defer sim.CloseWaveform()
+	}
+
+	stim := testbench.NewRandomStimulus(*seed)
+	for c := int64(0); c < *cycles; c++ {
+		stim.Apply(c, sim.Engine)
+		if err := sim.Step(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("simulated %d cycles with kernel %s\n", sim.Cycle(), kind)
+	for i, name := range t.OutputNames {
+		fmt.Printf("  %-24s = %d\n", name, sim.Engine.PeekOutput(i))
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

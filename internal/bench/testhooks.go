@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+
+	"rteaal/internal/baseline"
+	"rteaal/internal/codegen"
+	"rteaal/internal/gen"
+	"rteaal/internal/kernel"
+	"rteaal/internal/machines"
+)
+
+// kernelMetricsForTest returns a kernel's modelled Xeon simulation time.
+func kernelMetricsForTest(spec gen.Spec, name string) (float64, error) {
+	kind, err := kernel.ParseKind(name)
+	if err != nil {
+		return 0, err
+	}
+	m, err := kernelMetrics(spec, kind, machines.IntelXeon(), codegen.O3)
+	if err != nil {
+		return 0, err
+	}
+	return m.SimTimeSec, nil
+}
+
+// baselineMetricsForTest returns a baseline's modelled Xeon simulation time.
+func baselineMetricsForTest(spec gen.Spec, name string) (float64, error) {
+	var style baseline.Style
+	switch name {
+	case "verilator":
+		style = baseline.Verilator
+	case "essent":
+		style = baseline.Essent
+	default:
+		return 0, fmt.Errorf("bench: unknown baseline %q", name)
+	}
+	m, err := baselineMetrics(spec, style, machines.IntelXeon(), codegen.O3)
+	if err != nil {
+		return 0, err
+	}
+	return m.SimTimeSec, nil
+}

@@ -1,0 +1,204 @@
+package codegen
+
+import (
+	"testing"
+
+	"rteaal/internal/baseline"
+	"rteaal/internal/dfg"
+	"rteaal/internal/gen"
+	"rteaal/internal/kernel"
+	"rteaal/internal/oim"
+)
+
+func buildR8(t testing.TB, scale int) (*dfg.Graph, *oim.Tensor) {
+	t.Helper()
+	g, err := gen.Generate(gen.Spec{Family: gen.Rocket, Cores: 8, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := dfg.Levelize(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := oim.Build(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt, ten
+}
+
+// countSink tallies events for stream sanity checks.
+type countSink struct {
+	fetchBytes int64
+	loads      float64
+	seqLoads   float64
+	stores     float64
+	branches   int
+	hot        float64
+	exec       float64
+}
+
+func (c *countSink) Fetch(_ uint64, b int64) { c.fetchBytes += b }
+func (c *countSink) Load(_ uint64)           { c.loads++ }
+func (c *countSink) LoadSeq(_ uint64)        { c.seqLoads++ }
+func (c *countSink) Store(_ uint64)          { c.stores++ }
+func (c *countSink) Branch(_ uint64, _ bool) { c.branches++ }
+func (c *countSink) Exec(n float64)          { c.exec += n }
+func (c *countSink) HotLoad(n float64)       { c.hot += n }
+
+// TestTable4BinarySizeShape checks the paper's binary-size shape: rolled
+// kernels stay near the fixed runtime, IU sits in between, SU/TI embed the
+// whole OIM.
+func TestTable4BinarySizeShape(t *testing.T) {
+	_, ten := buildR8(t, 8)
+	sizes := map[kernel.Kind]int64{}
+	for _, k := range kernel.Kinds() {
+		p, err := KernelProgram(ten, k, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[k] = BinarySize(p)
+	}
+	mb := func(k kernel.Kind) float64 { return float64(sizes[k]) / (1 << 20) }
+	for _, k := range []kernel.Kind{kernel.RU, kernel.OU, kernel.NU, kernel.PSU} {
+		if mb(k) > 0.5 {
+			t.Errorf("%v binary %.2f MB, want ~0.35", k, mb(k))
+		}
+	}
+	if !(mb(kernel.IU) > 0.5 && mb(kernel.IU) < 2.0) {
+		t.Errorf("IU binary %.2f MB, want ~0.9", mb(kernel.IU))
+	}
+	if !(mb(kernel.SU) > 4 && mb(kernel.SU) < 8) {
+		t.Errorf("SU binary %.2f MB, want ~6", mb(kernel.SU))
+	}
+	if sizes[kernel.TI] >= sizes[kernel.SU] {
+		t.Errorf("TI binary should be below SU")
+	}
+}
+
+func TestStreamsAreDeterministicAndNonEmpty(t *testing.T) {
+	g, ten := buildR8(t, 16)
+	run := func(p *Program) countSink {
+		var c countSink
+		p.Stream(&c)
+		return c
+	}
+	for _, k := range kernel.Kinds() {
+		p, err := KernelProgram(ten, k, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := run(p), run(p)
+		if a.loads+a.seqLoads == 0 || a.stores == 0 || a.fetchBytes == 0 {
+			t.Errorf("%v: empty stream %+v", k, a)
+		}
+		if b.fetchBytes != a.fetchBytes || b.stores != a.stores {
+			t.Errorf("%v: stream not deterministic", k)
+		}
+		if p.InstPerCycle <= 0 {
+			t.Errorf("%v: no instruction calibration", k)
+		}
+	}
+	for _, style := range []baseline.Style{baseline.Verilator, baseline.Essent} {
+		p, err := BaselineProgram(g, style, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := run(p)
+		if c.loads == 0 || c.fetchBytes == 0 {
+			t.Errorf("%s: empty stream", style)
+		}
+		if style == baseline.Verilator && c.branches == 0 {
+			t.Error("verilator stream must contain branches")
+		}
+		if style == baseline.Essent && c.branches != 0 {
+			t.Error("essent stream must be branch-free")
+		}
+	}
+}
+
+// TestCompileModelShape checks Table 7's structure: PSU constant and tiny,
+// Verilator near-linear, ESSENT superlinear in both time and memory.
+func TestCompileModelShape(t *testing.T) {
+	g1, ten1 := buildR8(t, 8)
+	costK := func(tn *oim.Tensor, k kernel.Kind) CompileCost {
+		p, err := KernelProgram(tn, k, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return CompileModel(p, O3)
+	}
+	costB := func(gr *dfg.Graph, s baseline.Style) CompileCost {
+		p, err := BaselineProgram(gr, s, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return CompileModel(p, O3)
+	}
+	psu := costK(ten1, kernel.PSU)
+	if psu.Seconds > 10 || psu.PeakGB > 0.5 {
+		t.Errorf("PSU compile cost %+v, want seconds-scale", psu)
+	}
+	ver := costB(g1, baseline.Verilator)
+	ess := costB(g1, baseline.Essent)
+	if !(psu.Seconds < ver.Seconds && ver.Seconds < ess.Seconds) {
+		t.Errorf("compile times out of order: psu=%.1f ver=%.1f ess=%.1f",
+			psu.Seconds, ver.Seconds, ess.Seconds)
+	}
+	if ess.PeakGB < 10 {
+		t.Errorf("ESSENT r8 peak memory %.1f GB, want tens of GB", ess.PeakGB)
+	}
+	// -O0 compiles faster.
+	p, _ := KernelProgram(ten1, kernel.SU, 8)
+	if CompileModel(p, O0).Seconds >= CompileModel(p, O3).Seconds {
+		t.Error("-O0 should compile faster than -O3")
+	}
+}
+
+func TestO0Multipliers(t *testing.T) {
+	if DynInstMultiplierO0("essent") != 103.3 {
+		t.Error("essent O0 multiplier")
+	}
+	if DynInstMultiplierO0("verilator") != 4.42 {
+		t.Error("verilator O0 multiplier")
+	}
+	if DynInstMultiplierO0("PSU") != 3.8 {
+		t.Error("kernel O0 multiplier")
+	}
+	if O0.String() != "-O0" || O3.String() != "-O3" {
+		t.Error("opt level names")
+	}
+}
+
+func TestBaselineTextFollowsPaperSizes(t *testing.T) {
+	// The paper reports ~11 MB for ESSENT and ~19 MB for Verilator on the
+	// 8-core SmallBOOM.
+	g, err := gen.Generate(gen.Spec{Family: gen.Boom, Cores: 8, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, err := BaselineProgram(opt, baseline.Verilator, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ess, err := BaselineProgram(opt, baseline.Essent, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmb := float64(BinarySize(ver)) / (1 << 20)
+	emb := float64(BinarySize(ess)) / (1 << 20)
+	if vmb < 14 || vmb > 26 {
+		t.Errorf("verilator s8 binary %.1f MB, want ~19", vmb)
+	}
+	if emb < 8 || emb > 15 {
+		t.Errorf("essent s8 binary %.1f MB, want ~11", emb)
+	}
+}

@@ -1,0 +1,198 @@
+// Package core is the top-level RTeAAL Sim API: it runs the full compiler
+// pipeline of Figure 14 — FIRRTL frontend, dataflow-graph optimisation,
+// levelization with identity elision, OIM tensor generation, and kernel
+// construction — and wraps the result in a simulator with port access,
+// host-DUT communication, and waveform capture.
+//
+//	sim, err := core.CompileFIRRTL(src, core.Options{Kernel: kernel.PSU})
+//	sim.PokeByName("io_in", 3)
+//	sim.Run(100)
+//	v, _ := sim.PeekByName("count")
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/firrtl"
+	"rteaal/internal/kernel"
+	"rteaal/internal/oim"
+	"rteaal/internal/vcd"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Kernel selects the unrolling configuration (§5.2); PSU is the
+	// scalable sweet spot the paper identifies.
+	Kernel kernel.Kind
+	// Opt overrides the dataflow-graph optimisation set; nil means the
+	// proof-of-concept defaults (const-prop, copy-prop, CSE, mux-chain
+	// fusion, DCE).
+	Opt *dfg.OptOptions
+	// UnoptimizedFormat keeps the Figure 12a payload arrays (ablation).
+	UnoptimizedFormat bool
+	// Waveform disables signal-eliminating optimisations so every register
+	// keeps its coordinate (§6.2 waveform generation support).
+	Waveform bool
+}
+
+// Sim is a compiled, runnable simulation.
+type Sim struct {
+	Graph  *dfg.Graph
+	Tensor *oim.Tensor
+	Engine kernel.Engine
+
+	cycle   int64
+	inputs  map[string]int
+	outputs map[string]int
+	wave    *vcd.Writer
+	waveSig []int32 // slots sampled into the waveform
+}
+
+// CompileFIRRTL parses and compiles FIRRTL source text.
+func CompileFIRRTL(src string, opts Options) (*Sim, error) {
+	g, err := firrtl.ParseAndElaborate(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileGraph(g, opts)
+}
+
+// CompileGraph compiles an already-built dataflow graph.
+func CompileGraph(g *dfg.Graph, opts Options) (*Sim, error) {
+	o := dfg.DefaultOptOptions()
+	if opts.Opt != nil {
+		o = *opts.Opt
+	}
+	if opts.Waveform {
+		o.SweepRegs = false
+	}
+	optg, err := dfg.Optimize(g, o)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := dfg.Levelize(optg)
+	if err != nil {
+		return nil, err
+	}
+	t, err := oim.Build(lv)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := kernel.New(t, kernel.Config{Kind: opts.Kernel, UnoptimizedFormat: opts.UnoptimizedFormat})
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{Graph: optg, Tensor: t, Engine: eng,
+		inputs: map[string]int{}, outputs: map[string]int{}}
+	for i, n := range t.InputNames {
+		s.inputs[n] = i
+	}
+	for i, n := range t.OutputNames {
+		s.outputs[n] = i
+	}
+	return s, nil
+}
+
+// Cycle reports completed cycles since construction or Reset.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// PokeByName drives a primary input.
+func (s *Sim) PokeByName(name string, v uint64) error {
+	i, ok := s.inputs[name]
+	if !ok {
+		return fmt.Errorf("core: no input named %q", name)
+	}
+	s.Engine.PokeInput(i, v)
+	return nil
+}
+
+// PeekByName reads a primary output as sampled at the last settle.
+func (s *Sim) PeekByName(name string) (uint64, error) {
+	i, ok := s.outputs[name]
+	if !ok {
+		return 0, fmt.Errorf("core: no output named %q", name)
+	}
+	return s.Engine.PeekOutput(i), nil
+}
+
+// PeekReg reads a register's committed value by index.
+func (s *Sim) PeekReg(i int) uint64 { return s.Engine.RegSnapshot()[i] }
+
+// Step advances one clock cycle, sampling the waveform if enabled.
+func (s *Sim) Step() error {
+	s.Engine.Step()
+	s.cycle++
+	if s.wave != nil {
+		vals := make([]uint64, len(s.waveSig))
+		for i, slot := range s.waveSig {
+			vals[i] = s.Engine.PeekSlot(slot)
+		}
+		if err := s.wave.Sample(vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run advances n cycles.
+func (s *Sim) Run(n int64) error {
+	for i := int64(0); i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset restores the initial state (the waveform keeps recording).
+func (s *Sim) Reset() {
+	s.Engine.Reset()
+	s.cycle = 0
+}
+
+// EnableWaveform records every primary output and register to w as VCD,
+// sampled once per Step.
+func (s *Sim) EnableWaveform(w io.Writer) error {
+	wr := vcd.NewWriter(w)
+	var slots []int32
+	add := func(name string, slot int32) error {
+		// Width from the mask.
+		width := 0
+		for m := s.Tensor.Masks[slot]; m != 0; m >>= 1 {
+			width++
+		}
+		if width == 0 {
+			width = 1
+		}
+		if err := wr.AddSignal(name, width); err != nil {
+			return err
+		}
+		slots = append(slots, slot)
+		return nil
+	}
+	for i, name := range s.Tensor.OutputNames {
+		if err := add(name, s.Tensor.OutputSlots[i]); err != nil {
+			return err
+		}
+	}
+	for i, r := range s.Tensor.RegSlots {
+		if err := add(fmt.Sprintf("reg_%d", i), r.Q); err != nil {
+			return err
+		}
+	}
+	s.wave = wr
+	s.waveSig = slots
+	return nil
+}
+
+// CloseWaveform finalises the VCD stream.
+func (s *Sim) CloseWaveform() error {
+	if s.wave == nil {
+		return nil
+	}
+	err := s.wave.Close()
+	s.wave = nil
+	return err
+}

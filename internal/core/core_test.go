@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rteaal/internal/kernel"
+)
+
+const counterSrc = `
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input step : UInt<4>
+    output count : UInt<8>
+    regreset c : UInt<8>, clock, reset, UInt<8>(0)
+    c <= tail(add(c, pad(step, 8)), 1)
+    count <= c
+`
+
+func TestCompileAndRunAllKernels(t *testing.T) {
+	for _, k := range kernel.Kinds() {
+		sim, err := CompileFIRRTL(counterSrc, Options{Kernel: k})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if err := sim.PokeByName("step", 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		if got := sim.PeekReg(0); got != 20 {
+			t.Fatalf("%v: count = %d, want 20", k, got)
+		}
+		if sim.Cycle() != 10 {
+			t.Fatalf("cycle = %d", sim.Cycle())
+		}
+		sim.Reset()
+		if got := sim.PeekReg(0); got != 0 {
+			t.Fatalf("%v: after reset = %d", k, got)
+		}
+	}
+}
+
+func TestPortErrors(t *testing.T) {
+	sim, err := CompileFIRRTL(counterSrc, Options{Kernel: kernel.PSU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.PokeByName("bogus", 1); err == nil {
+		t.Error("poke of unknown input accepted")
+	}
+	if _, err := sim.PeekByName("bogus"); err == nil {
+		t.Error("peek of unknown output accepted")
+	}
+}
+
+func TestWaveformCapture(t *testing.T) {
+	sim, err := CompileFIRRTL(counterSrc, Options{Kernel: kernel.TI, Waveform: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := sim.EnableWaveform(&b); err != nil {
+		t.Fatal(err)
+	}
+	sim.PokeByName("step", 1)
+	if err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CloseWaveform(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "$var wire 8") || !strings.Contains(out, "count") {
+		t.Fatalf("waveform missing signals:\n%s", out)
+	}
+	// The counter changes every cycle, so several timestamps must appear.
+	if strings.Count(out, "#") < 4 {
+		t.Fatalf("too few samples:\n%s", out)
+	}
+}
+
+func TestCompileErrorsPropagate(t *testing.T) {
+	if _, err := CompileFIRRTL("not firrtl at all", Options{}); err == nil {
+		t.Fatal("want parse error")
+	}
+}

@@ -1,0 +1,217 @@
+package dfg
+
+import "fmt"
+
+// Levelized is the result of slicing a dataflow graph into layers (§4.2):
+// every operation in layer i depends only on sources (registers, inputs,
+// constants) and on operations in layers < i. It also carries the coordinate
+// assignment that performs identity-operator elision (§4.3): every node —
+// source or operation — receives a unique coordinate ("slot") in the
+// layer-input tensor LI, so a value produced in layer p and consumed in
+// layer c simply stays at its coordinate instead of being copied through
+// c-p-1 identity operations.
+type Levelized struct {
+	G         *Graph
+	NumLayers int
+	// Layers lists the operation nodes of each layer, in a deterministic
+	// order (ascending NodeID).
+	Layers [][]NodeID
+	// LevelOf maps every node to its layer; sources are -1.
+	LevelOf []int32
+	// Slot maps every node to its LI coordinate.
+	Slot []int32
+	// SlotCount is the shape of the R/S ranks (the LI length).
+	SlotCount int
+	// ConstSlots lists (slot, value) pairs preloaded at reset.
+	ConstSlots []SlotInit
+	// RegSlots lists, per register, the (Q slot, next-state slot, init).
+	RegSlots []RegSlot
+	// InputSlots lists the LI coordinate of each primary input, in
+	// Graph.Inputs order.
+	InputSlots []int32
+	// OutputSlots lists the LI coordinate of each primary output.
+	OutputSlots []int32
+
+	// EffectualOps counts real operations; IdentityOps counts the identity
+	// operations that cascade construction would insert before elision
+	// (Table 1's accounting).
+	EffectualOps int64
+	IdentityOps  int64
+}
+
+// SlotInit is a preloaded LI coordinate.
+type SlotInit struct {
+	Slot  int32
+	Value uint64
+}
+
+// RegSlot locates one register's current-value and next-value coordinates.
+type RegSlot struct {
+	Q    int32
+	Next int32
+	Init uint64
+	// Mask is the register's width mask; commits apply it defensively.
+	Mask uint64
+}
+
+// Levelize slices g into layers and assigns LI coordinates. The graph must
+// Validate.
+func Levelize(g *Graph) (*Levelized, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := len(g.Nodes)
+	lv := &Levelized{G: g, LevelOf: make([]int32, n), Slot: make([]int32, n)}
+
+	// Layer assignment (ASAP): sources are -1; an op is one past its
+	// deepest argument.
+	for i := range lv.LevelOf {
+		lv.LevelOf[i] = -1
+	}
+	maxLayer := int32(-1)
+	for _, id := range topo {
+		nd := &g.Nodes[id]
+		layer := int32(0)
+		for _, a := range nd.Args {
+			if l := lv.LevelOf[a] + 1; l > layer {
+				layer = l
+			}
+		}
+		lv.LevelOf[id] = layer
+		if layer > maxLayer {
+			maxLayer = layer
+		}
+	}
+	lv.NumLayers = int(maxLayer + 1)
+	lv.Layers = make([][]NodeID, lv.NumLayers)
+	for id := range g.Nodes {
+		if g.Nodes[id].Kind == KindOp {
+			l := lv.LevelOf[id]
+			lv.Layers[l] = append(lv.Layers[l], NodeID(id))
+		}
+	}
+
+	// Coordinate assignment: sources first (registers, then inputs, then
+	// constants, each in declaration order), then operations layer by
+	// layer. The ordering is what makes register commits, testbench pokes,
+	// and OIM generation deterministic.
+	slot := int32(0)
+	assigned := make([]bool, n)
+	assign := func(id NodeID) {
+		if assigned[id] {
+			panic(fmt.Sprintf("dfg: node %d assigned twice", id))
+		}
+		assigned[id] = true
+		lv.Slot[id] = slot
+		slot++
+	}
+	for _, r := range g.Regs {
+		assign(r.Node)
+	}
+	for _, p := range g.Inputs {
+		assign(p.Node)
+	}
+	for id := range g.Nodes {
+		if g.Nodes[id].Kind == KindConst {
+			assign(NodeID(id))
+		}
+	}
+	for _, layer := range lv.Layers {
+		for _, id := range layer {
+			assign(id)
+		}
+	}
+	if int(slot) != n {
+		return nil, fmt.Errorf("dfg: levelize: %d of %d nodes assigned slots", slot, n)
+	}
+	lv.SlotCount = n
+
+	for id := range g.Nodes {
+		nd := &g.Nodes[id]
+		if nd.Kind == KindConst {
+			lv.ConstSlots = append(lv.ConstSlots, SlotInit{Slot: lv.Slot[id], Value: nd.Val})
+		}
+	}
+	for _, r := range g.Regs {
+		lv.RegSlots = append(lv.RegSlots, RegSlot{
+			Q:    lv.Slot[r.Node],
+			Next: lv.Slot[r.Next],
+			Init: r.Init,
+			Mask: g.Nodes[r.Node].Mask(),
+		})
+	}
+	for _, p := range g.Inputs {
+		lv.InputSlots = append(lv.InputSlots, lv.Slot[p.Node])
+	}
+	for _, p := range g.Outputs {
+		lv.OutputSlots = append(lv.OutputSlots, lv.Slot[p.Node])
+	}
+
+	lv.countIdentities()
+	return lv, nil
+}
+
+// countIdentities computes the Table 1 accounting: how many identity
+// operations the cascade of §4.2 would contain before elision. A value
+// produced at layer p (sources: p = -1) whose latest consumer sits at layer
+// c needs one identity per intermediate layer, i.e. c-p-1 of them; register
+// next-states must additionally survive to the final write-back, i.e. to
+// layer NumLayers.
+func (lv *Levelized) countIdentities() {
+	g := lv.G
+	lastUse := make([]int32, len(g.Nodes))
+	for i := range lastUse {
+		lastUse[i] = -2 // unused
+	}
+	for id := range g.Nodes {
+		nd := &g.Nodes[id]
+		if nd.Kind != KindOp {
+			continue
+		}
+		for _, a := range nd.Args {
+			if lv.LevelOf[id] > lastUse[a] {
+				lastUse[a] = lv.LevelOf[id]
+			}
+		}
+	}
+	final := int32(lv.NumLayers)
+	for _, r := range g.Regs {
+		if lastUse[r.Next] < final {
+			lastUse[r.Next] = final
+		}
+	}
+	for _, p := range g.Outputs {
+		// Source-valued outputs (registers, inputs, constants) are read
+		// from committed state and need no carrying; op-valued outputs
+		// must survive to the final write-back.
+		if g.Nodes[p.Node].Kind == KindOp && lastUse[p.Node] < final {
+			lastUse[p.Node] = final
+		}
+	}
+	var identities int64
+	for id := range g.Nodes {
+		if lastUse[id] < 0 {
+			continue
+		}
+		span := int64(lastUse[id] - lv.LevelOf[id] - 1)
+		if span > 0 {
+			identities += span
+		}
+	}
+	lv.IdentityOps = identities
+	var ops int64
+	for _, layer := range lv.Layers {
+		ops += int64(len(layer))
+	}
+	lv.EffectualOps = ops
+}
+
+// LayerSizes returns the operation count of each layer.
+func (lv *Levelized) LayerSizes() []int {
+	out := make([]int, lv.NumLayers)
+	for i, l := range lv.Layers {
+		out[i] = len(l)
+	}
+	return out
+}

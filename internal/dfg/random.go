@@ -1,0 +1,156 @@
+package dfg
+
+import (
+	"math/rand"
+
+	"rteaal/internal/wire"
+)
+
+// RandomParams shapes RandomGraph's output. All counts are approximate
+// targets; the generator always produces a valid graph.
+type RandomParams struct {
+	Inputs   int
+	Regs     int
+	Ops      int
+	Consts   int
+	MaxWidth int // widths are drawn from 1..MaxWidth (<= 64)
+	// MuxBias in [0,1] raises the share of mux operations, which exercises
+	// the select class and mux-chain fusion.
+	MuxBias float64
+}
+
+// DefaultRandomParams is a small circuit suitable for property tests.
+func DefaultRandomParams() RandomParams {
+	return RandomParams{Inputs: 4, Regs: 6, Ops: 60, Consts: 5, MaxWidth: 16, MuxBias: 0.25}
+}
+
+// RandomGraph generates a pseudo-random synchronous circuit. The result is
+// always acyclic (arguments are drawn from already-created nodes), every
+// register gets a next-state, and a handful of outputs are exported. It is
+// the workhorse of the cross-engine equivalence property tests.
+func RandomGraph(rng *rand.Rand, p RandomParams) *Graph {
+	if p.MaxWidth <= 0 || p.MaxWidth > 64 {
+		p.MaxWidth = 16
+	}
+	g := &Graph{Name: "random"}
+	width := func() int { return 1 + rng.Intn(p.MaxWidth) }
+
+	var pool []NodeID
+	for i := 0; i < p.Inputs; i++ {
+		pool = append(pool, g.AddInput(randName(rng, "in", i), width()))
+	}
+	var regs []NodeID
+	for i := 0; i < p.Regs; i++ {
+		id := g.AddReg(randName(rng, "r", i), width(), rng.Uint64())
+		regs = append(regs, id)
+		pool = append(pool, id)
+	}
+	for i := 0; i < p.Consts; i++ {
+		pool = append(pool, g.AddConst(rng.Uint64(), width()))
+	}
+	if len(pool) == 0 {
+		pool = append(pool, g.AddConst(1, 1))
+	}
+
+	pick := func() NodeID { return pool[rng.Intn(len(pool))] }
+
+	binaryOps := []wire.Op{
+		wire.Add, wire.Sub, wire.Mul, wire.Div, wire.Rem,
+		wire.And, wire.Or, wire.Xor,
+		wire.Eq, wire.Neq, wire.Lt, wire.Leq, wire.Gt, wire.Geq,
+		wire.Shl, wire.Shr,
+	}
+	unaryOps := []wire.Op{wire.Not, wire.Neg, wire.OrR, wire.XorR}
+
+	for i := 0; i < p.Ops; i++ {
+		w := width()
+		var id NodeID
+		switch r := rng.Float64(); {
+		case r < p.MuxBias:
+			id = g.AddOp(wire.Mux, w, pick(), pick(), pick())
+		case r < p.MuxBias+0.12:
+			id = g.AddOp(unaryOps[rng.Intn(len(unaryOps))], condWidth(w, rng), pick())
+		case r < p.MuxBias+0.20:
+			// Structured cat/bits with in-range constant parameters.
+			x := pick()
+			xw := int(g.Nodes[x].Width)
+			if rng.Intn(2) == 0 && xw >= 2 {
+				lo := rng.Intn(xw)
+				hi := lo + rng.Intn(xw-lo)
+				hiC := g.AddConst(uint64(hi), 7)
+				loC := g.AddConst(uint64(lo), 7)
+				id = g.AddOp(wire.Bits, hi-lo+1, x, hiC, loC)
+			} else {
+				y := pick()
+				yw := int(g.Nodes[y].Width)
+				total := xw + yw
+				if total > 64 {
+					id = g.AddOp(wire.Xor, w, pick(), pick())
+				} else {
+					lwC := g.AddConst(uint64(yw), 7)
+					id = g.AddOp(wire.Cat, total, x, y, lwC)
+				}
+			}
+		case r < p.MuxBias+0.24:
+			x := pick()
+			maskC := g.AddConst(g.Nodes[x].Mask(), 64)
+			id = g.AddOp(wire.AndR, 1, x, maskC)
+		default:
+			op := binaryOps[rng.Intn(len(binaryOps))]
+			ow := w
+			switch op {
+			case wire.Eq, wire.Neq, wire.Lt, wire.Leq, wire.Gt, wire.Geq:
+				ow = 1
+			}
+			id = g.AddOp(op, ow, pick(), pick())
+		}
+		pool = append(pool, id)
+	}
+
+	// Connect register next-states to width-matching nodes, synthesising a
+	// truncation when necessary.
+	for _, q := range regs {
+		w := int(g.Nodes[q].Width)
+		src := pick()
+		if int(g.Nodes[src].Width) != w {
+			hiC := g.AddConst(uint64(w-1), 7)
+			loC := g.AddConst(0, 7)
+			src = g.AddOp(wire.Bits, w, src, hiC, loC)
+		}
+		g.SetRegNext(q, src)
+	}
+
+	// Export a few outputs so DCE keeps interesting logic alive.
+	nOut := 2 + rng.Intn(3)
+	for i := 0; i < nOut; i++ {
+		g.AddOutput(randName(rng, "out", i), pool[rng.Intn(len(pool))])
+	}
+	return g
+}
+
+func condWidth(w int, rng *rand.Rand) int {
+	if rng.Intn(3) == 0 {
+		return 1 // reduction-style
+	}
+	return w
+}
+
+func randName(rng *rand.Rand, prefix string, i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	b := []byte{letters[rng.Intn(26)], letters[rng.Intn(26)]}
+	return prefix + "_" + string(b) + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,88 @@
+package einsum
+
+import (
+	"fmt"
+
+	"rteaal/internal/fibertree"
+	"rteaal/internal/wire"
+)
+
+// Env supplies the design-specific custom operators of Cascade 1: op_u[n],
+// op_r[n], and op_s[n] are all derived from the operation signature bound to
+// each N coordinate, and the populate masks come from each output signal's
+// width.
+type Env struct {
+	// OpOf returns the operation kind and operand count for an N coordinate.
+	OpOf func(n fibertree.Coord) (wire.Op, int)
+	// MaskOf returns the width mask of the output signal at S coordinate s.
+	MaskOf func(s fibertree.Coord) uint64
+}
+
+// EvalCascade1 is the reference evaluator of the paper's Cascade 1: it
+// executes one combinational settle of the circuit directly over the OIM
+// fibertree (rank order [I,S,N,O,R]) with the loop order of Algorithm 3,
+// mutating li in place. It makes no use of concrete formats, loop
+// transformations, or unrolling — it is deliberately the slowest, most
+// literal implementation, and the seven optimised kernels are property-
+// tested against it.
+//
+// Registers are not committed here; the caller owns the sequential step
+// (the final write-back einsum of the cascade writes layer outputs into LI,
+// which is exactly what this function does per layer).
+func EvalCascade1(oim *fibertree.Tensor, li []uint64, env Env) error {
+	if len(oim.Ranks) != 5 {
+		return fmt.Errorf("einsum: OIM must have 5 ranks [I,S,N,O,R], got %v", oim.Ranks)
+	}
+	iFiber := oim.Root
+	selInputs := make([]uint64, 0, 8)
+	type pending struct {
+		s fibertree.Coord
+		v uint64
+	}
+	var outs []pending
+
+	for ii := range iFiber.Coords { // Rank I: layers in ascending order
+		sFiber := iFiber.Subs[ii]
+		outs = outs[:0]
+		for si, s := range sFiber.Coords { // Rank S: operations
+			nFiber := sFiber.Subs[si]
+			if nFiber.Occupancy() != 1 {
+				return fmt.Errorf("einsum: N fiber of s=%d not one-hot (occupancy %d)", s, nFiber.Occupancy())
+			}
+			n := nFiber.Coords[0]
+			op, arity := env.OpOf(n)
+			mask := env.MaskOf(s)
+			oFiber := nFiber.Subs[0]
+			if oFiber.Occupancy() != arity {
+				return fmt.Errorf("einsum: O fiber of s=%d has occupancy %d, want arity %d", s, oFiber.Occupancy(), arity)
+			}
+			selInputs = selInputs[:0]
+			var reduceTmp uint64
+			for oi := range oFiber.Coords { // Rank O: operand order
+				rFiber := oFiber.Subs[oi]
+				if rFiber.Occupancy() != 1 {
+					return fmt.Errorf("einsum: R fiber of s=%d o=%d not one-hot", s, oi)
+				}
+				r := rFiber.Coords[0] // Rank R: one-hot operand coordinate
+				// Einsum OI[i,n,o,r,s] = LI[i,r] . OIM[i,n,o,r,s] :: map <-(->)
+				operand := li[r]
+				selInputs = append(selInputs, operand)
+				// Einsum LO[i,n,s] = OI :: map op_u[n](<-) reduce op_r[n](->)
+				mapTmp := wire.MapStep(op, operand, mask)
+				reduceTmp = wire.ReduceStep(op, reduceTmp, mapTmp, oi, mask)
+			}
+			out := reduceTmp
+			// Einsum LO_sel[i,n,o*,r,s] = OI :: map 1(<-) populate 1(op_s[n])
+			if wire.Gather(op) {
+				out = wire.PopulateGather(op, selInputs, mask)
+			}
+			outs = append(outs, pending{s, out})
+		}
+		// Final einsums: LI[i+1,s] gets LO / LO_sel (s coordinates are
+		// unique across the two, so a single write-back suffices).
+		for _, p := range outs {
+			li[p.s] = p.v
+		}
+	}
+	return nil
+}

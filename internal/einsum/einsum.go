@@ -1,0 +1,187 @@
+// Package einsum implements the extended-Einsum (EDGE) machinery the paper
+// builds on (§2.3–2.4, Appendix A): the map / reduce / populate actions with
+// their compute and coordinate operators, notation types that render
+// cascades the way the paper writes them, executable versions of the
+// paper's example einsums, and — most importantly — a reference evaluator
+// for Cascade 1, the einsum formulation of RTL simulation (§4). The seven
+// optimised kernels in internal/kernel are tested against that reference.
+package einsum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ActionKind identifies the three EDGE actions.
+type ActionKind uint8
+
+const (
+	// ActMap combines operands from input tensors into map temporaries.
+	ActMap ActionKind = iota
+	// ActReduce aggregates map temporaries into reduce temporaries.
+	ActReduce
+	// ActPopulate writes reduce temporaries into the output tensor.
+	ActPopulate
+)
+
+func (k ActionKind) symbol() string {
+	switch k {
+	case ActMap:
+		return "map"
+	case ActReduce:
+		return "reduce"
+	default:
+		return "populate"
+	}
+}
+
+// Action pairs an EDGE action with its compute and coordinate operators,
+// written as in the paper: compute(coordinate). The pass-through operator is
+// spelled "1"; take-left "<-"; take-right "->"; intersection "^"; union "u".
+type Action struct {
+	Kind    ActionKind
+	Compute string
+	Coord   string
+}
+
+// PassThrough reports whether both operators are pass-through, in which case
+// the paper omits the action from the notation.
+func (a Action) PassThrough() bool { return a.Compute == "1" && a.Coord == "1" }
+
+func (a Action) String() string {
+	return fmt.Sprintf("%s %s(%s)", a.Kind.symbol(), a.Compute, a.Coord)
+}
+
+// TensorRef names a tensor with its rank subscripts, e.g. OIM[i,n,o,r,s].
+type TensorRef struct {
+	Name  string
+	Ranks []string
+}
+
+func (r TensorRef) String() string {
+	return fmt.Sprintf("%s[%s]", r.Name, strings.Join(r.Ranks, ","))
+}
+
+// Einsum is one extended-Einsum equation.
+type Einsum struct {
+	Output  TensorRef
+	Inputs  []TensorRef
+	Actions []Action
+	// Cond annotates conditional applicability (e.g. "n not in n_sel").
+	Cond string
+	// Iterative marks the rank driving a loop-carried dependence (§2.4).
+	Iterative string
+}
+
+func (e Einsum) String() string {
+	var b strings.Builder
+	b.WriteString(e.Output.String())
+	b.WriteString(" = ")
+	for i, in := range e.Inputs {
+		if i > 0 {
+			b.WriteString(" . ")
+		}
+		b.WriteString(in.String())
+	}
+	shown := false
+	for _, a := range e.Actions {
+		if a.PassThrough() {
+			continue
+		}
+		if !shown {
+			b.WriteString(" :: ")
+			shown = true
+		} else {
+			b.WriteString(" ")
+		}
+		b.WriteString(a.String())
+	}
+	if e.Cond != "" {
+		fmt.Fprintf(&b, ", %s", e.Cond)
+	}
+	if e.Iterative != "" {
+		fmt.Fprintf(&b, " <> %s iterative", e.Iterative)
+	}
+	return b.String()
+}
+
+// Cascade is a sequence of dependent einsums.
+type Cascade struct {
+	Name    string
+	Einsums []Einsum
+}
+
+func (c Cascade) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cascade %s:\n", c.Name)
+	for _, e := range c.Einsums {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}
+
+// RTeAALCascade returns the paper's Cascade 1: the einsum formulation of one
+// simulated cycle over an arbitrary levelized dataflow graph (§4.2).
+func RTeAALCascade() Cascade {
+	return Cascade{
+		Name: "rteaal-sim",
+		Einsums: []Einsum{
+			{
+				Output: TensorRef{"OI", []string{"i", "n", "o", "r", "s"}},
+				Inputs: []TensorRef{
+					{"LI", []string{"i", "r"}},
+					{"OIM", []string{"i", "n", "o", "r", "s"}},
+				},
+				Actions: []Action{{ActMap, "<-", "->"}},
+			},
+			{
+				Output:  TensorRef{"LO", []string{"i", "n", "s"}},
+				Inputs:  []TensorRef{{"OI", []string{"i", "n", "o", "r", "s"}}},
+				Actions: []Action{{ActMap, "op_u[n]", "<-"}, {ActReduce, "op_r[n]", "->"}},
+			},
+			{
+				Output:  TensorRef{"LO_sel", []string{"i", "n", "o*", "r", "s"}},
+				Inputs:  []TensorRef{{"OI", []string{"i", "n", "o", "r", "s"}}},
+				Actions: []Action{{ActMap, "1", "<-"}, {ActPopulate, "1", "op_s[n]"}},
+			},
+			{
+				Output:    TensorRef{"LI", []string{"i+1", "s"}},
+				Inputs:    []TensorRef{{"LO", []string{"i", "n", "s"}}},
+				Actions:   []Action{{ActMap, "1", "<-"}, {ActReduce, "ANY", "->"}},
+				Cond:      "n not in n_sel",
+				Iterative: "i",
+			},
+			{
+				Output:    TensorRef{"LI", []string{"i+1", "s"}},
+				Inputs:    []TensorRef{{"LO_sel", []string{"i", "n", "o", "r", "s"}}},
+				Actions:   []Action{{ActMap, "1", "<-"}, {ActReduce, "ANY", "->"}},
+				Cond:      "n in n_sel",
+				Iterative: "i",
+			},
+		},
+	}
+}
+
+// RepCutCascade returns Cascade 2 (Appendix C): RTeAAL simulation extended
+// with RepCut's cross-partition register synchronisation via the RUM tensor.
+func RepCutCascade() Cascade {
+	c := Cascade{Name: "repcut-sim"}
+	base := RTeAALCascade()
+	for _, e := range base.Einsums {
+		e.Output.Ranks = append([]string{"c"}, e.Output.Ranks...)
+		for i := range e.Inputs {
+			e.Inputs[i].Ranks = append([]string{"c"}, e.Inputs[i].Ranks...)
+		}
+		c.Einsums = append(c.Einsums, e)
+	}
+	c.Einsums = append(c.Einsums, Einsum{
+		Output: TensorRef{"LI", []string{"c+1", "o", "s1", "s0"}},
+		Inputs: []TensorRef{
+			{"LI", []string{"c", "I", "r1", "r0"}},
+			{"RUM", []string{"r1", "r0", "s1", "s0"}},
+		},
+		Actions:   []Action{{ActMap, "<-", "->"}},
+		Iterative: "c",
+	})
+	return c
+}

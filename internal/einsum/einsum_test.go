@@ -1,0 +1,185 @@
+package einsum
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rteaal/internal/fibertree"
+)
+
+func vec(vals ...uint64) *fibertree.Tensor {
+	return fibertree.FromDense("V", "M", vals, true)
+}
+
+func TestDotMatchesDirect(t *testing.T) {
+	// Sparse dot: only intersecting coordinates contribute.
+	a := vec(2, 0, 4, 0, 5)
+	b := vec(3, 7, 2, 0, 0)
+	if got := Dot(a, b); got != 2*3+4*2 {
+		t.Fatalf("dot = %d, want 14", got)
+	}
+}
+
+func TestDotProperty(t *testing.T) {
+	f := func(av, bv [8]uint8) bool {
+		var want uint64
+		a := make([]uint64, 8)
+		b := make([]uint64, 8)
+		for i := range av {
+			a[i], b[i] = uint64(av[i]), uint64(bv[i])
+			want += a[i] * b[i]
+		}
+		return Dot(vec(a...), vec(b...)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyWhereFigure4(t *testing.T) {
+	// Figure 4: Z gets A's value wherever B is non-empty.
+	a := fibertree.NewTensor("A", []string{"R"}, []int64{4})
+	a.Set([]fibertree.Coord{1}, 3)
+	a.Set([]fibertree.Coord{2}, 7)
+	a.Set([]fibertree.Coord{3}, 2)
+	b := fibertree.NewTensor("B", []string{"R"}, []int64{4})
+	b.Set([]fibertree.Coord{0}, 1)
+	b.Set([]fibertree.Coord{2}, 1)
+	z := CopyWhere(a, b)
+	if v, _ := z.Get([]fibertree.Coord{2}); v != 7 {
+		t.Fatalf("Z[2] = %d", v)
+	}
+	if v, ok := z.Get([]fibertree.Coord{0}); !ok || v != 0 {
+		t.Fatalf("Z[0] = %d,%v (expected explicit empty copy)", v, ok)
+	}
+	if _, ok := z.Get([]fibertree.Coord{1}); ok {
+		t.Fatal("Z[1] should be unoccupied")
+	}
+}
+
+func TestCopyAndSumNonEmpty(t *testing.T) {
+	a := vec(0, 5, 0, 7)
+	z := CopyNonEmpty(a)
+	if !z.Equal(a) {
+		t.Fatal("CopyNonEmpty should reproduce occupied points")
+	}
+	if got := SumNonEmpty(a); got != 12 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	got := PrefixSum([]uint64{1, 2, 3, 4})
+	want := []uint64{1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix = %v", got)
+		}
+	}
+}
+
+func TestMax2Figure22(t *testing.T) {
+	// Figure 22: A = {0:1, 1:2, 2:2... } paper uses values 1,2,4 over R with
+	// output keeping the two largest (2 and 4) at their coordinates.
+	a := vec(1, 2, 4)
+	z := Max2(a)
+	if z.NNZ() != 2 {
+		t.Fatalf("max2 kept %d values", z.NNZ())
+	}
+	if v, _ := z.Get([]fibertree.Coord{2}); v != 4 {
+		t.Fatalf("Z[2] = %d", v)
+	}
+	if v, _ := z.Get([]fibertree.Coord{1}); v != 2 {
+		t.Fatalf("Z[1] = %d", v)
+	}
+}
+
+func TestMax2Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		vals := make([]uint64, rng.Intn(10))
+		for i := range vals {
+			vals[i] = uint64(rng.Intn(50))
+		}
+		z := Max2(vec(vals...))
+		// Every kept value must be >= every dropped value.
+		var kept, all []uint64
+		z.Walk(func(_ []fibertree.Coord, v uint64) { kept = append(kept, v) })
+		for _, v := range vals {
+			if v != 0 {
+				all = append(all, v)
+			}
+		}
+		if want := minInt(2, len(all)); len(kept) != want {
+			t.Fatalf("trial %d: kept %d of %d", trial, len(kept), len(all))
+		}
+		for _, k := range kept {
+			bigger := 0
+			for _, v := range all {
+				if v > k {
+					bigger++
+				}
+			}
+			if bigger >= 2 {
+				t.Fatalf("trial %d: kept %d but 2+ larger values exist", trial, k)
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestCascadeNotation(t *testing.T) {
+	c := RTeAALCascade()
+	s := c.String()
+	for _, want := range []string{
+		"OI[i,n,o,r,s] = LI[i,r] . OIM[i,n,o,r,s] :: map <-(->)",
+		"LO[i,n,s] = OI[i,n,o,r,s] :: map op_u[n](<-) reduce op_r[n](->)",
+		"LO_sel[i,n,o*,r,s]",
+		"populate 1(op_s[n])",
+		"n not in n_sel",
+		"<> i iterative",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("cascade notation missing %q:\n%s", want, s)
+		}
+	}
+	if len(c.Einsums) != 5 {
+		t.Fatalf("cascade has %d einsums, want 5", len(c.Einsums))
+	}
+}
+
+func TestRepCutCascadeNotation(t *testing.T) {
+	c := RepCutCascade()
+	s := c.String()
+	if !strings.Contains(s, "RUM[r1,r0,s1,s0]") {
+		t.Errorf("RepCut cascade missing RUM einsum:\n%s", s)
+	}
+	if len(c.Einsums) != 6 {
+		t.Fatalf("repcut cascade has %d einsums, want 6", len(c.Einsums))
+	}
+	// All base einsums gain the partition rank c.
+	for _, e := range c.Einsums[:5] {
+		if e.Output.Ranks[0] != "c" && !strings.HasPrefix(e.Output.Ranks[0], "c") {
+			t.Errorf("einsum %s lacks partition rank", e)
+		}
+	}
+}
+
+func TestActionPassThroughOmitted(t *testing.T) {
+	e := Einsum{
+		Output:  TensorRef{"Z", []string{"m"}},
+		Inputs:  []TensorRef{{"A", []string{"m"}}},
+		Actions: []Action{{ActMap, "1", "1"}, {ActPopulate, "1", "1"}},
+	}
+	if strings.Contains(e.String(), "::") {
+		t.Errorf("pass-through actions should be omitted: %s", e)
+	}
+}

@@ -1,0 +1,92 @@
+package einsum
+
+import (
+	"sort"
+
+	"rteaal/internal/fibertree"
+)
+
+// Executable forms of the paper's worked einsum examples (§2.3–2.4 and
+// Appendix A). They double as the executable semantics of the coordinate
+// and compute operators used by the cascade evaluator.
+
+// Dot evaluates Z = A_m . B_m :: map ×(∩) reduce +(∪) — the dot product of
+// Figure 3: multiply at intersecting coordinates, sum the map temporaries.
+func Dot(a, b *fibertree.Tensor) uint64 {
+	var z uint64
+	fibertree.Intersect(a.Root, b.Root, func(_ fibertree.Coord, av, bv uint64) {
+		z += av * bv
+	})
+	return z
+}
+
+// CopyWhere evaluates Z_m = A_m . B_m :: map ←(→) — Einsum 2 / Figure 4:
+// copy A's value wherever B is non-empty.
+func CopyWhere(a, b *fibertree.Tensor) *fibertree.Tensor {
+	z := fibertree.NewTensor("Z", a.Ranks, a.Shapes)
+	fibertree.TakeRight(a.Root, b.Root, func(c fibertree.Coord, av uint64, aok bool, _ uint64) {
+		if aok {
+			z.Set([]fibertree.Coord{c}, av)
+		} else {
+			z.Set([]fibertree.Coord{c}, 0)
+		}
+	})
+	return z
+}
+
+// CopyNonEmpty evaluates Z_m = A_m :: map 1(←) — Einsum 3: copy all
+// non-empty points of A.
+func CopyNonEmpty(a *fibertree.Tensor) *fibertree.Tensor {
+	z := fibertree.NewTensor("Z", a.Ranks, a.Shapes)
+	a.Walk(func(p []fibertree.Coord, v uint64) {
+		z.Set(append([]fibertree.Coord(nil), p...), v)
+	})
+	return z
+}
+
+// SumNonEmpty evaluates Z = A_m :: map 1(←) reduce +(→) — Einsum 4.
+func SumNonEmpty(a *fibertree.Tensor) uint64 {
+	var z uint64
+	a.Walk(func(_ []fibertree.Coord, v uint64) { z += v })
+	return z
+}
+
+// PrefixSum evaluates S_{i+1} = S_i . A_i :: map +(∪) with iterative rank I
+// (Einsum 5 / Algorithm 1), returning the running sums S_1..S_I.
+func PrefixSum(a []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	var s uint64
+	for i, v := range a {
+		s += v
+		out[i] = s
+	}
+	return out
+}
+
+// Max2 evaluates B_{r*} = A_r :: populate 1(max2) — Einsum 14 / Figure 22:
+// a custom populate coordinate operator keeping the two largest values of
+// the input fiber (with their coordinates).
+func Max2(a *fibertree.Tensor) *fibertree.Tensor {
+	type cv struct {
+		c fibertree.Coord
+		v uint64
+	}
+	var all []cv
+	a.Walk(func(p []fibertree.Coord, v uint64) {
+		all = append(all, cv{p[0], v})
+	})
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].c < all[j].c
+	})
+	if len(all) > 2 {
+		all = all[:2]
+	}
+	z := fibertree.NewTensor("B", a.Ranks, a.Shapes)
+	for _, e := range all {
+		z.Set([]fibertree.Coord{e.c}, e.v)
+	}
+	return z
+}

@@ -1,0 +1,68 @@
+package fibertree
+
+// Co-iteration primitives over leaf fibers. These realise the coordinate
+// operators of extended Einsums (§2.4): intersection (∩), union (∪),
+// take-left (←), and take-right (→) define which points of the iteration
+// space an action evaluates.
+
+// Intersect visits coordinates occupied in both fibers.
+func Intersect(a, b *Fiber, visit func(c Coord, av, bv uint64)) {
+	i, j := 0, 0
+	for i < len(a.Coords) && j < len(b.Coords) {
+		switch {
+		case a.Coords[i] < b.Coords[j]:
+			i++
+		case a.Coords[i] > b.Coords[j]:
+			j++
+		default:
+			visit(a.Coords[i], a.Leaves[i], b.Leaves[j])
+			i++
+			j++
+		}
+	}
+}
+
+// Union visits coordinates occupied in either fiber; absent sides report
+// ok=false.
+func Union(a, b *Fiber, visit func(c Coord, av uint64, aok bool, bv uint64, bok bool)) {
+	i, j := 0, 0
+	for i < len(a.Coords) || j < len(b.Coords) {
+		switch {
+		case j >= len(b.Coords) || (i < len(a.Coords) && a.Coords[i] < b.Coords[j]):
+			visit(a.Coords[i], a.Leaves[i], true, 0, false)
+			i++
+		case i >= len(a.Coords) || b.Coords[j] < a.Coords[i]:
+			visit(b.Coords[j], 0, false, b.Leaves[j], true)
+			j++
+		default:
+			visit(a.Coords[i], a.Leaves[i], true, b.Leaves[j], true)
+			i++
+			j++
+		}
+	}
+}
+
+// TakeRight visits coordinates where b is occupied, reporting a's value
+// there (zero if absent). This is the ←(→) map action of Einsum 2: output
+// the left operand wherever the right operand is non-empty.
+func TakeRight(a, b *Fiber, visit func(c Coord, av uint64, aok bool, bv uint64)) {
+	i := 0
+	for j, c := range b.Coords {
+		for i < len(a.Coords) && a.Coords[i] < c {
+			i++
+		}
+		if i < len(a.Coords) && a.Coords[i] == c {
+			visit(c, a.Leaves[i], true, b.Leaves[j])
+		} else {
+			visit(c, 0, false, b.Leaves[j])
+		}
+	}
+}
+
+// TakeLeft visits coordinates where a is occupied, reporting b's value there
+// (zero if absent).
+func TakeLeft(a, b *Fiber, visit func(c Coord, av uint64, bv uint64, bok bool)) {
+	TakeRight(b, a, func(c Coord, bv uint64, bok bool, av uint64) {
+		visit(c, av, bv, bok)
+	})
+}

@@ -1,0 +1,281 @@
+// Package fibertree implements the fibertree abstraction of Sze et al. that
+// the paper adopts (§2.2): a tensor is a tree whose levels correspond to
+// ranks; each level holds fibers of (coordinate, payload) pairs; payloads are
+// scalar values at the leaves and references to next-level fibers elsewhere.
+//
+// Fibertrees uniformly describe dense and sparse tensors — a dense fiber
+// stores every coordinate in its shape, a sparse fiber only the occupied
+// ones — which is what lets the TeAAL format level (internal/teaal) choose a
+// concrete compressed or uncompressed layout per rank without changing the
+// abstract tensor.
+package fibertree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Coord is a coordinate within a rank.
+type Coord int64
+
+// Fiber is a set of (coordinate, payload) pairs sharing all higher-level
+// coordinates. Leaf fibers carry scalar values; interior fibers carry
+// references to next-level fibers. Coordinates are kept sorted ascending.
+type Fiber struct {
+	// Shape is the number of possible coordinates (occupied or not).
+	Shape int64
+	// Coords lists the occupied coordinates, ascending.
+	Coords []Coord
+	// Subs holds next-level fibers for interior fibers (nil at leaves).
+	Subs []*Fiber
+	// Leaves holds scalar payloads for leaf fibers (nil at interior).
+	Leaves []uint64
+}
+
+// NewFiber returns an empty fiber of the given shape.
+func NewFiber(shape int64) *Fiber { return &Fiber{Shape: shape} }
+
+// IsLeaf reports whether the fiber carries scalar payloads.
+func (f *Fiber) IsLeaf() bool { return f.Subs == nil }
+
+// Occupancy is the number of occupied coordinates.
+func (f *Fiber) Occupancy() int { return len(f.Coords) }
+
+// find returns the index of c in Coords and whether it is present.
+func (f *Fiber) find(c Coord) (int, bool) {
+	i := sort.Search(len(f.Coords), func(i int) bool { return f.Coords[i] >= c })
+	return i, i < len(f.Coords) && f.Coords[i] == c
+}
+
+// Leaf returns the scalar payload at c of a leaf fiber, and whether the
+// coordinate is occupied.
+func (f *Fiber) Leaf(c Coord) (uint64, bool) {
+	i, ok := f.find(c)
+	if !ok || !f.IsLeaf() {
+		return 0, false
+	}
+	return f.Leaves[i], true
+}
+
+// Sub returns the next-level fiber at c, or nil if unoccupied.
+func (f *Fiber) Sub(c Coord) *Fiber {
+	i, ok := f.find(c)
+	if !ok || f.IsLeaf() {
+		return nil
+	}
+	return f.Subs[i]
+}
+
+// SetLeaf inserts or updates a scalar payload at c.
+func (f *Fiber) SetLeaf(c Coord, v uint64) {
+	i, ok := f.find(c)
+	if ok {
+		f.Leaves[i] = v
+		return
+	}
+	f.Coords = append(f.Coords, 0)
+	copy(f.Coords[i+1:], f.Coords[i:])
+	f.Coords[i] = c
+	f.Leaves = append(f.Leaves, 0)
+	copy(f.Leaves[i+1:], f.Leaves[i:])
+	f.Leaves[i] = v
+}
+
+// GetOrCreateSub returns the next-level fiber at c, creating an empty one of
+// the given shape if absent.
+func (f *Fiber) GetOrCreateSub(c Coord, shape int64) *Fiber {
+	i, ok := f.find(c)
+	if ok {
+		return f.Subs[i]
+	}
+	sub := NewFiber(shape)
+	f.Coords = append(f.Coords, 0)
+	copy(f.Coords[i+1:], f.Coords[i:])
+	f.Coords[i] = c
+	f.Subs = append(f.Subs, nil)
+	copy(f.Subs[i+1:], f.Subs[i:])
+	f.Subs[i] = sub
+	return sub
+}
+
+// Tensor is a fibertree with named ranks.
+type Tensor struct {
+	Name   string
+	Ranks  []string // outermost first
+	Shapes []int64
+	Root   *Fiber
+}
+
+// NewTensor creates an empty tensor with the given rank names and shapes.
+func NewTensor(name string, ranks []string, shapes []int64) *Tensor {
+	if len(ranks) != len(shapes) || len(ranks) == 0 {
+		panic("fibertree: ranks and shapes must align and be non-empty")
+	}
+	return &Tensor{
+		Name:   name,
+		Ranks:  append([]string(nil), ranks...),
+		Shapes: append([]int64(nil), shapes...),
+		Root:   NewFiber(shapes[0]),
+	}
+}
+
+// Set inserts a scalar value at the given point (one coordinate per rank).
+func (t *Tensor) Set(point []Coord, v uint64) {
+	if len(point) != len(t.Ranks) {
+		panic(fmt.Sprintf("fibertree: point arity %d != rank count %d", len(point), len(t.Ranks)))
+	}
+	f := t.Root
+	for level := 0; level < len(point)-1; level++ {
+		f = f.GetOrCreateSub(point[level], t.Shapes[level+1])
+	}
+	f.SetLeaf(point[len(point)-1], v)
+}
+
+// Get returns the value at the point and whether it is occupied.
+func (t *Tensor) Get(point []Coord) (uint64, bool) {
+	f := t.Root
+	for level := 0; level < len(point)-1; level++ {
+		f = f.Sub(point[level])
+		if f == nil {
+			return 0, false
+		}
+	}
+	return f.Leaf(point[len(point)-1])
+}
+
+// NNZ counts occupied leaf payloads.
+func (t *Tensor) NNZ() int {
+	var walk func(f *Fiber) int
+	walk = func(f *Fiber) int {
+		if f.IsLeaf() {
+			return len(f.Leaves)
+		}
+		n := 0
+		for _, s := range f.Subs {
+			n += walk(s)
+		}
+		return n
+	}
+	return walk(t.Root)
+}
+
+// Density is NNZ divided by the product of shapes. The paper reports OIM
+// densities between 1e-7 and 1e-9 (§5.1).
+func (t *Tensor) Density() float64 {
+	total := 1.0
+	for _, s := range t.Shapes {
+		total *= float64(s)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(t.NNZ()) / total
+}
+
+// Walk visits every occupied point in coordinate-lexicographic order.
+func (t *Tensor) Walk(visit func(point []Coord, v uint64)) {
+	point := make([]Coord, 0, len(t.Ranks))
+	var walk func(f *Fiber)
+	walk = func(f *Fiber) {
+		if f.IsLeaf() {
+			for i, c := range f.Coords {
+				visit(append(point, c), f.Leaves[i])
+			}
+			return
+		}
+		for i, c := range f.Coords {
+			point = append(point, c)
+			walk(f.Subs[i])
+			point = point[:len(point)-1]
+		}
+	}
+	walk(t.Root)
+}
+
+// Equal reports whether two tensors have identical rank structure and
+// occupied points.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if len(t.Ranks) != len(o.Ranks) {
+		return false
+	}
+	for i := range t.Ranks {
+		if t.Ranks[i] != o.Ranks[i] || t.Shapes[i] != o.Shapes[i] {
+			return false
+		}
+	}
+	var eq func(a, b *Fiber) bool
+	eq = func(a, b *Fiber) bool {
+		if a.IsLeaf() != b.IsLeaf() || len(a.Coords) != len(b.Coords) {
+			return false
+		}
+		for i := range a.Coords {
+			if a.Coords[i] != b.Coords[i] {
+				return false
+			}
+		}
+		if a.IsLeaf() {
+			for i := range a.Leaves {
+				if a.Leaves[i] != b.Leaves[i] {
+					return false
+				}
+			}
+			return true
+		}
+		for i := range a.Subs {
+			if !eq(a.Subs[i], b.Subs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(t.Root, o.Root)
+}
+
+// String renders the fibertree in an indented textual form, one fiber per
+// line, for debugging and documentation.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%s]\n", t.Name, strings.Join(t.Ranks, ","))
+	var walk func(f *Fiber, depth int)
+	walk = func(f *Fiber, depth int) {
+		indent := strings.Repeat("  ", depth+1)
+		if f.IsLeaf() {
+			for i, c := range f.Coords {
+				fmt.Fprintf(&b, "%s%d: %d\n", indent, c, f.Leaves[i])
+			}
+			return
+		}
+		for i, c := range f.Coords {
+			fmt.Fprintf(&b, "%s%d:\n", indent, c)
+			walk(f.Subs[i], depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// FromDense builds a 1-rank tensor from a dense slice, omitting zeros when
+// sparse is true.
+func FromDense(name, rank string, values []uint64, sparse bool) *Tensor {
+	t := NewTensor(name, []string{rank}, []int64{int64(len(values))})
+	for i, v := range values {
+		if sparse && v == 0 {
+			continue
+		}
+		t.Set([]Coord{Coord(i)}, v)
+	}
+	return t
+}
+
+// ToDense flattens a 1-rank tensor into a dense slice of its shape.
+func (t *Tensor) ToDense() []uint64 {
+	if len(t.Ranks) != 1 {
+		panic("fibertree: ToDense requires a 1-rank tensor")
+	}
+	out := make([]uint64, t.Shapes[0])
+	for i, c := range t.Root.Coords {
+		out[c] = t.Root.Leaves[i]
+	}
+	return out
+}

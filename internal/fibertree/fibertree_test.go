@@ -1,0 +1,270 @@
+package fibertree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperMatrix builds Figure 2's matrix A: shape 3x3 with
+// A[0,2]=1, A[2,0]=2, A[2,1]=3, A[2,2]=4.
+func paperMatrix() *Tensor {
+	t := NewTensor("A", []string{"M", "K"}, []int64{3, 3})
+	t.Set([]Coord{0, 2}, 1)
+	t.Set([]Coord{2, 0}, 2)
+	t.Set([]Coord{2, 1}, 3)
+	t.Set([]Coord{2, 2}, 4)
+	return t
+}
+
+func TestPaperFigure2(t *testing.T) {
+	a := paperMatrix()
+	// Rank M has one fiber of shape 3 with occupancy 2.
+	if a.Root.Shape != 3 || a.Root.Occupancy() != 2 {
+		t.Fatalf("M fiber: shape %d occupancy %d", a.Root.Shape, a.Root.Occupancy())
+	}
+	// Rank K has two fibers with occupancies 1 and 3.
+	f0 := a.Root.Sub(0)
+	f2 := a.Root.Sub(2)
+	if f0 == nil || f2 == nil {
+		t.Fatal("missing K fibers")
+	}
+	if f0.Occupancy() != 1 || f2.Occupancy() != 3 {
+		t.Fatalf("K occupancies %d, %d", f0.Occupancy(), f2.Occupancy())
+	}
+	if v, ok := a.Get([]Coord{0, 2}); !ok || v != 1 {
+		t.Fatalf("A[0,2] = %d,%v", v, ok)
+	}
+	if _, ok := a.Get([]Coord{1, 1}); ok {
+		t.Fatal("A[1,1] should be empty")
+	}
+	if a.NNZ() != 4 {
+		t.Fatalf("NNZ = %d", a.NNZ())
+	}
+	if d := a.Density(); d != 4.0/9.0 {
+		t.Fatalf("density = %f", d)
+	}
+}
+
+func TestSetGetRoundTripProperty(t *testing.T) {
+	f := func(keys []uint16, vals []uint64) bool {
+		tn := NewTensor("T", []string{"A", "B"}, []int64{1 << 8, 1 << 8})
+		ref := map[[2]Coord]uint64{}
+		for i, k := range keys {
+			if i >= len(vals) {
+				break
+			}
+			p := [2]Coord{Coord(k >> 8), Coord(k & 0xff)}
+			tn.Set(p[:], vals[i])
+			ref[p] = vals[i]
+		}
+		for p, want := range ref {
+			got, ok := tn.Get(p[:])
+			if !ok || got != want {
+				return false
+			}
+		}
+		return tn.NNZ() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordsStaySorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := NewFiber(1000)
+	for i := 0; i < 300; i++ {
+		f.SetLeaf(Coord(rng.Intn(1000)), rng.Uint64())
+	}
+	for i := 1; i < len(f.Coords); i++ {
+		if f.Coords[i-1] >= f.Coords[i] {
+			t.Fatalf("coords unsorted at %d", i)
+		}
+	}
+	if f.Occupancy() > 1000 {
+		t.Fatal("occupancy exceeds shape")
+	}
+}
+
+func TestWalkOrderAndEqual(t *testing.T) {
+	a := paperMatrix()
+	var pts [][]Coord
+	a.Walk(func(p []Coord, v uint64) {
+		cp := append([]Coord(nil), p...)
+		pts = append(pts, cp)
+	})
+	if len(pts) != 4 {
+		t.Fatalf("walked %d points", len(pts))
+	}
+	// Lexicographic order.
+	for i := 1; i < len(pts); i++ {
+		if !lexLess(pts[i-1], pts[i]) {
+			t.Fatalf("walk out of order at %d: %v >= %v", i, pts[i-1], pts[i])
+		}
+	}
+	b := paperMatrix()
+	if !a.Equal(b) {
+		t.Fatal("identical tensors not Equal")
+	}
+	b.Set([]Coord{1, 1}, 9)
+	if a.Equal(b) {
+		t.Fatal("different tensors Equal")
+	}
+}
+
+func lexLess(a, b []Coord) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	vals := []uint64{5, 0, 7, 0, 9}
+	dense := FromDense("D", "R", vals, false)
+	sparse := FromDense("S", "R", vals, true)
+	if dense.NNZ() != 5 || sparse.NNZ() != 3 {
+		t.Fatalf("NNZ dense=%d sparse=%d", dense.NNZ(), sparse.NNZ())
+	}
+	got := sparse.ToDense()
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("ToDense[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := paperMatrix().String()
+	if !strings.Contains(s, "A[M,K]") || !strings.Contains(s, "2: 1") {
+		t.Fatalf("rendering:\n%s", s)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := FromDense("A", "M", []uint64{2, 0, 4, 0}, true).Root
+	b := FromDense("B", "M", []uint64{3, 7, 2, 0}, true).Root
+	var got []uint64
+	Intersect(a, b, func(c Coord, av, bv uint64) {
+		got = append(got, uint64(c), av, bv)
+	})
+	want := []uint64{0, 2, 3, 2, 4, 2}
+	if len(got) != len(want) {
+		t.Fatalf("intersect = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intersect = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := FromDense("A", "M", []uint64{2, 0, 4}, true).Root
+	b := FromDense("B", "M", []uint64{0, 7, 2}, true).Root
+	var coords []Coord
+	Union(a, b, func(c Coord, av uint64, aok bool, bv uint64, bok bool) {
+		coords = append(coords, c)
+		if c == 0 && (!aok || bok) {
+			t.Errorf("coord 0 presence wrong")
+		}
+		if c == 1 && (aok || !bok) {
+			t.Errorf("coord 1 presence wrong")
+		}
+		if c == 2 && (!aok || !bok) {
+			t.Errorf("coord 2 presence wrong")
+		}
+	})
+	if len(coords) != 3 {
+		t.Fatalf("union coords = %v", coords)
+	}
+}
+
+func TestTakeRightLeft(t *testing.T) {
+	// Figure 4: A = [_, 3, 7, 2] sparse at {1:3, 2:7, 3:2}? Use the paper's
+	// shape: A has 3,7,2 at coords 1..3; B nonempty at 0 and 2.
+	a := NewTensor("A", []string{"R"}, []int64{4})
+	a.Set([]Coord{1}, 3)
+	a.Set([]Coord{2}, 7)
+	a.Set([]Coord{3}, 2)
+	b := NewTensor("B", []string{"R"}, []int64{4})
+	b.Set([]Coord{0}, 1)
+	b.Set([]Coord{2}, 1)
+
+	var out []uint64
+	TakeRight(a.Root, b.Root, func(c Coord, av uint64, aok bool, bv uint64) {
+		out = append(out, uint64(c), av)
+	})
+	// Visits B's coords {0, 2}; A provides 0 (absent) and 7.
+	want := []uint64{0, 0, 2, 7}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("TakeRight = %v, want %v", out, want)
+		}
+	}
+
+	var left []uint64
+	TakeLeft(a.Root, b.Root, func(c Coord, av uint64, bv uint64, bok bool) {
+		left = append(left, uint64(c), av)
+	})
+	// Visits A's coords {1,2,3}.
+	wantL := []uint64{1, 3, 2, 7, 3, 2}
+	for i := range wantL {
+		if left[i] != wantL[i] {
+			t.Fatalf("TakeLeft = %v, want %v", left, wantL)
+		}
+	}
+}
+
+// TestCoiterationMatchesMapReference cross-checks the merge-based
+// co-iteration against a map-based reference on random fibers.
+func TestCoiterationMatchesMapReference(t *testing.T) {
+	f := func(aSeed, bSeed int64) bool {
+		mk := func(seed int64) (*Fiber, map[Coord]uint64) {
+			rng := rand.New(rand.NewSource(seed))
+			f := NewFiber(64)
+			ref := map[Coord]uint64{}
+			for i := 0; i < rng.Intn(20); i++ {
+				c := Coord(rng.Intn(64))
+				v := rng.Uint64()%9 + 1
+				f.SetLeaf(c, v)
+				ref[c] = v
+			}
+			return f, ref
+		}
+		a, ra := mk(aSeed)
+		b, rb := mk(bSeed)
+		nInter, nUnion := 0, 0
+		Intersect(a, b, func(c Coord, av, bv uint64) {
+			if ra[c] != av || rb[c] != bv {
+				t.Errorf("intersect values wrong at %d", c)
+			}
+			nInter++
+		})
+		Union(a, b, func(c Coord, av uint64, aok bool, bv uint64, bok bool) {
+			if aok != (ra[c] != 0) || bok != (rb[c] != 0) {
+				t.Errorf("union presence wrong at %d", c)
+			}
+			nUnion++
+		})
+		wantInter, wantUnion := 0, len(ra)
+		for c := range ra {
+			if _, ok := rb[c]; ok {
+				wantInter++
+			}
+		}
+		for c := range rb {
+			if _, ok := ra[c]; !ok {
+				wantUnion++
+			}
+		}
+		return nInter == wantInter && nUnion == wantUnion
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

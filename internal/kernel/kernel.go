@@ -1,0 +1,198 @@
+// Package kernel implements the seven progressively unrolled RTeAAL Sim
+// kernels of §5.2 — RU, OU, NU, PSU, IU, SU, and TI — as cycle-accurate
+// simulation engines over the OIM tensor. Each kernel in the sequence keeps
+// its predecessors' optimisations and adds one more:
+//
+//	RU  unrolls only the one-hot R rank (Algorithm 3, format Fig. 12b)
+//	OU  fully unrolls the O rank (operand fetch without an inner loop)
+//	NU  swizzles S and N ([I,N,S,O,R], format Fig. 12c) and unrolls N into
+//	    per-operation-type inner loops (Algorithm 4)
+//	PSU partially unrolls the S loops (8x compute, 24x write-back)
+//	IU  fully unrolls the I rank, eliminating zero-iteration S loops
+//	SU  fully unrolls the S rank into a flat per-operation tape, encoding
+//	    the whole OIM in the "binary" (the tape) with no metadata arrays
+//	TI  additionally inlines the LO tensor away, writing results straight
+//	    to their LI coordinates (levelization makes that safe)
+//
+// All engines produce bit-identical traces; they differ in control
+// structure, which is what the codegen and performance model measure.
+package kernel
+
+import (
+	"fmt"
+
+	"rteaal/internal/oim"
+)
+
+// Kind selects one of the seven kernel configurations.
+type Kind uint8
+
+const (
+	RU Kind = iota
+	OU
+	NU
+	PSU
+	IU
+	SU
+	TI
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{"RU", "OU", "NU", "PSU", "IU", "SU", "TI"}
+
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kernel(%d)", uint8(k))
+}
+
+// Kinds lists all kernel configurations in unrolling order.
+func Kinds() []Kind { return []Kind{RU, OU, NU, PSU, IU, SU, TI} }
+
+// ParseKind resolves a kernel name.
+func ParseKind(s string) (Kind, error) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if kindNames[k] == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("kernel: unknown kind %q (want RU|OU|NU|PSU|IU|SU|TI)", s)
+}
+
+// Config selects the kernel and format options.
+type Config struct {
+	Kind Kind
+	// UnoptimizedFormat keeps the redundant payload arrays of Figure 12a
+	// (only meaningful for RU/OU, whose loops consult them); used by the
+	// format-compression ablation.
+	UnoptimizedFormat bool
+}
+
+// Engine is a cycle-accurate simulator for one design.
+type Engine interface {
+	// Name identifies the kernel configuration.
+	Name() string
+	// Settle performs one combinational evaluation (one pass of
+	// Cascade 1) and samples the primary outputs.
+	Settle()
+	// Step runs Settle followed by the register commit.
+	Step()
+	// Reset restores registers and constants to their initial values.
+	Reset()
+	// PokeInput drives the idx-th primary input.
+	PokeInput(idx int, v uint64)
+	// PeekOutput reads the idx-th primary output as sampled at the most
+	// recent Settle.
+	PeekOutput(idx int) uint64
+	// PeekSlot reads any LI coordinate (for waveforms and host-DUT I/O).
+	PeekSlot(slot int32) uint64
+	// PokeSlot writes any LI coordinate (host-DUT communication, §6.2).
+	PokeSlot(slot int32, v uint64)
+	// RegSnapshot copies the committed register values.
+	RegSnapshot() []uint64
+	// Tensor returns the underlying OIM.
+	Tensor() *oim.Tensor
+}
+
+// New builds the engine for a configuration.
+func New(t *oim.Tensor, cfg Config) (Engine, error) {
+	if t.NumSlots == 0 {
+		return nil, fmt.Errorf("kernel: empty design")
+	}
+	switch cfg.Kind {
+	case RU:
+		return newRU(t, cfg.UnoptimizedFormat), nil
+	case OU:
+		return newOU(t, cfg.UnoptimizedFormat), nil
+	case NU:
+		return newNU(t), nil
+	case PSU:
+		return newPSU(t), nil
+	case IU:
+		return newIU(t), nil
+	case SU:
+		return newSU(t), nil
+	case TI:
+		return newTI(t), nil
+	}
+	return nil, fmt.Errorf("kernel: unknown kind %v", cfg.Kind)
+}
+
+// state is the shared simulation state and port plumbing embedded by every
+// engine: the LI tensor (one value per coordinate), the staged register
+// commit, and output sampling at combinational settle.
+type state struct {
+	t    *oim.Tensor
+	li   []uint64
+	next []uint64
+	outs []uint64
+	lo   []uint64 // layer-output buffer (unused by TI)
+}
+
+func newState(t *oim.Tensor) state {
+	maxLayer := 0
+	for _, l := range t.Layers {
+		if len(l) > maxLayer {
+			maxLayer = len(l)
+		}
+	}
+	s := state{
+		t:    t,
+		li:   make([]uint64, t.NumSlots),
+		next: make([]uint64, len(t.RegSlots)),
+		outs: make([]uint64, len(t.OutputSlots)),
+		lo:   make([]uint64, maxLayer),
+	}
+	s.Reset()
+	return s
+}
+
+func (s *state) Reset() {
+	for i := range s.li {
+		s.li[i] = 0
+	}
+	for _, c := range s.t.ConstSlots {
+		s.li[c.Slot] = c.Value
+	}
+	for _, r := range s.t.RegSlots {
+		s.li[r.Q] = r.Init
+	}
+	for i := range s.outs {
+		s.outs[i] = 0
+	}
+}
+
+func (s *state) PokeInput(idx int, v uint64) {
+	slot := s.t.InputSlots[idx]
+	s.li[slot] = v & s.t.Masks[slot]
+}
+
+func (s *state) PeekOutput(idx int) uint64     { return s.outs[idx] }
+func (s *state) PeekSlot(slot int32) uint64    { return s.li[slot] }
+func (s *state) PokeSlot(slot int32, v uint64) { s.li[slot] = v & s.t.Masks[slot] }
+func (s *state) Tensor() *oim.Tensor           { return s.t }
+
+func (s *state) sampleOutputs() {
+	for i, slot := range s.t.OutputSlots {
+		s.outs[i] = s.li[slot]
+	}
+}
+
+// commit performs the simultaneous register update ending a cycle.
+func (s *state) commit() {
+	for i, r := range s.t.RegSlots {
+		s.next[i] = s.li[r.Next] & r.Mask
+	}
+	for i, r := range s.t.RegSlots {
+		s.li[r.Q] = s.next[i]
+	}
+}
+
+func (s *state) RegSnapshot() []uint64 {
+	out := make([]uint64, len(s.t.RegSlots))
+	for i, r := range s.t.RegSlots {
+		out[i] = s.li[r.Q]
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package kernel
+
+import (
+	"rteaal/internal/oim"
+	"rteaal/internal/wire"
+)
+
+// swizzledBase is shared by the NU, PSU, and IU kernels: the [I, N, S, O, R]
+// loop order over the Figure 12c format, with the N rank unrolled into
+// per-operation-type inner loops (Algorithm 4). Hoisting the operation-type
+// dispatch out of the S loop is what lets each loop body stay branch-free.
+type swizzledBase struct {
+	state
+	sw *oim.Swizzled
+}
+
+func newSwizzledBase(t *oim.Tensor) swizzledBase {
+	return swizzledBase{state: newState(t), sw: t.LowerSwizzled()}
+}
+
+// runGroup evaluates count consecutive operations sharing one signature,
+// reading the S/R coordinate streams at si/ri and writing lo positionally.
+// It returns the advanced ri.
+func (e *swizzledBase) runGroup(op wire.Op, arity int, count, si, ri int, lo []uint64) int {
+	li, sc, rc, masks := e.li, e.sw.SCoord, e.sw.RCoord, e.t.Masks
+	switch op {
+	case wire.Add:
+		for k := 0; k < count; k++ {
+			lo[k] = (li[rc[ri]] + li[rc[ri+1]]) & masks[sc[si+k]]
+			ri += 2
+		}
+	case wire.Sub:
+		for k := 0; k < count; k++ {
+			lo[k] = (li[rc[ri]] - li[rc[ri+1]]) & masks[sc[si+k]]
+			ri += 2
+		}
+	case wire.Mul:
+		for k := 0; k < count; k++ {
+			lo[k] = (li[rc[ri]] * li[rc[ri+1]]) & masks[sc[si+k]]
+			ri += 2
+		}
+	case wire.And:
+		for k := 0; k < count; k++ {
+			lo[k] = li[rc[ri]] & li[rc[ri+1]] & masks[sc[si+k]]
+			ri += 2
+		}
+	case wire.Or:
+		for k := 0; k < count; k++ {
+			lo[k] = (li[rc[ri]] | li[rc[ri+1]]) & masks[sc[si+k]]
+			ri += 2
+		}
+	case wire.Xor:
+		for k := 0; k < count; k++ {
+			lo[k] = (li[rc[ri]] ^ li[rc[ri+1]]) & masks[sc[si+k]]
+			ri += 2
+		}
+	case wire.Eq:
+		for k := 0; k < count; k++ {
+			lo[k] = b2u(li[rc[ri]] == li[rc[ri+1]])
+			ri += 2
+		}
+	case wire.Neq:
+		for k := 0; k < count; k++ {
+			lo[k] = b2u(li[rc[ri]] != li[rc[ri+1]])
+			ri += 2
+		}
+	case wire.Lt:
+		for k := 0; k < count; k++ {
+			lo[k] = b2u(li[rc[ri]] < li[rc[ri+1]])
+			ri += 2
+		}
+	case wire.Leq:
+		for k := 0; k < count; k++ {
+			lo[k] = b2u(li[rc[ri]] <= li[rc[ri+1]])
+			ri += 2
+		}
+	case wire.Gt:
+		for k := 0; k < count; k++ {
+			lo[k] = b2u(li[rc[ri]] > li[rc[ri+1]])
+			ri += 2
+		}
+	case wire.Geq:
+		for k := 0; k < count; k++ {
+			lo[k] = b2u(li[rc[ri]] >= li[rc[ri+1]])
+			ri += 2
+		}
+	case wire.Not:
+		for k := 0; k < count; k++ {
+			lo[k] = ^li[rc[ri]] & masks[sc[si+k]]
+			ri++
+		}
+	case wire.Neg:
+		for k := 0; k < count; k++ {
+			lo[k] = (-li[rc[ri]]) & masks[sc[si+k]]
+			ri++
+		}
+	case wire.OrR:
+		for k := 0; k < count; k++ {
+			lo[k] = b2u(li[rc[ri]] != 0)
+			ri++
+		}
+	case wire.AndR:
+		for k := 0; k < count; k++ {
+			lo[k] = b2u(li[rc[ri]] == li[rc[ri+1]])
+			ri += 2
+		}
+	case wire.Mux:
+		for k := 0; k < count; k++ {
+			if li[rc[ri]] != 0 {
+				lo[k] = li[rc[ri+1]] & masks[sc[si+k]]
+			} else {
+				lo[k] = li[rc[ri+2]] & masks[sc[si+k]]
+			}
+			ri += 3
+		}
+	case wire.Bits:
+		for k := 0; k < count; k++ {
+			lo[k] = wire.Eval(wire.Bits, []uint64{li[rc[ri]], li[rc[ri+1]], li[rc[ri+2]]}, masks[sc[si+k]])
+			ri += 3
+		}
+	case wire.Cat:
+		for k := 0; k < count; k++ {
+			lo[k] = wire.Eval(wire.Cat, []uint64{li[rc[ri]], li[rc[ri+1]], li[rc[ri+2]]}, masks[sc[si+k]])
+			ri += 3
+		}
+	case wire.MuxChain:
+		for k := 0; k < count; k++ {
+			lo[k] = evalMuxChainSlots(li, rc[ri:ri+arity]) & masks[sc[si+k]]
+			ri += arity
+		}
+	default: // generic fallback (Shl, Shr, Div, Rem, XorR, Ident, ...)
+		var argbuf [3]uint64
+		for k := 0; k < count; k++ {
+			args := argbuf[:arity]
+			for o := 0; o < arity; o++ {
+				args[o] = li[rc[ri+o]]
+			}
+			lo[k] = wire.Eval(op, args, masks[sc[si+k]])
+			ri += arity
+		}
+	}
+	return ri
+}
+
+// evalMuxChainSlots applies the fused mux-chain over operand slots without
+// materialising the operand values.
+func evalMuxChainSlots(li []uint64, slots []int32) uint64 {
+	n := len(slots)
+	for i := 0; i+1 < n; i += 2 {
+		if li[slots[i]] != 0 {
+			return li[slots[i+1]]
+		}
+	}
+	return li[slots[n-1]]
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// writeBack scatters count layer outputs to their LI coordinates.
+func (e *swizzledBase) writeBack(sBase, count int) {
+	li, sc, lo := e.li, e.sw.SCoord, e.lo
+	for k := 0; k < count; k++ {
+		li[sc[sBase+k]] = lo[k]
+	}
+}
+
+// nuEngine is the N-rank-unrolled kernel (Algorithm 4).
+type nuEngine struct{ swizzledBase }
+
+func newNU(t *oim.Tensor) *nuEngine { return &nuEngine{newSwizzledBase(t)} }
+
+func (e *nuEngine) Name() string { return "NU" }
+
+func (e *nuEngine) Settle() {
+	numSigs := e.sw.NumSigs
+	si, ri := 0, 0
+	for i := 0; i < len(e.t.Layers); i++ { // Rank I
+		sBase := si
+		np := 0
+		for sig := 0; sig < numSigs; sig++ { // Unrolled rank N
+			count := int(e.sw.NPayload[i*numSigs+sig])
+			np += count
+			if count == 0 {
+				continue
+			}
+			s := e.t.OpTable[sig]
+			ri = e.runGroup(s.Op, int(s.Arity), count, si, ri, e.lo[si-sBase:])
+			si += count
+		}
+		e.writeBack(sBase, np)
+	}
+	e.sampleOutputs()
+}
+
+func (e *nuEngine) Step() {
+	e.Settle()
+	e.commit()
+}

@@ -1,0 +1,126 @@
+// Package machines describes the four evaluation hosts of Table 2 as
+// parameter sets for the performance model: cache geometry straight from
+// the table, plus latency and branch-predictor characteristics taken from
+// the paper's analysis (§7.2: Xeon fetch latency dominated by an LLC with
+// roughly twice the Core i9's latency; §7.5: Graviton 4's branch predictor
+// behaves far better on Verilator's branchy code than the x86 parts).
+package machines
+
+// Machine parameterises the performance model for one host.
+type Machine struct {
+	Name string
+	ISA  string
+
+	// Cache geometry (sizes in bytes; line size 64 throughout).
+	L1ISize, L1DSize, L2Size, LLCSize int64
+	L1Assoc, L2Assoc, LLCAssoc        int
+
+	// Load-to-use latencies in cycles for hits at each level, and DRAM.
+	L2Lat, LLCLat, MemLat int
+
+	// FetchLat scales the front-end cost of instruction misses (the §7.2
+	// fetch-latency observation: Xeon stalls harder per I-miss).
+	FetchLat float64
+
+	// IssueWidth is the sustained pipeline width.
+	IssueWidth float64
+
+	// MispredictPenalty is the pipeline refill cost in cycles.
+	MispredictPenalty int
+
+	// PredictorQuality in (0,1] scales mispredict rates; it stands in for
+	// predictor sophistication (Graviton 4 resolves Verilator's branchy
+	// code almost perfectly, §7.5).
+	PredictorQuality float64
+
+	// GHz converts model cycles to seconds.
+	GHz float64
+}
+
+// The four hosts of Table 2.
+
+// IntelCore is the Intel Core i9-13900K desktop part.
+func IntelCore() Machine {
+	return Machine{
+		Name: "Intel Core i9-13900K", ISA: "x86",
+		L1ISize: 32 << 10, L1DSize: 48 << 10,
+		L2Size: 2 << 20, LLCSize: 36 << 20,
+		L1Assoc: 8, L2Assoc: 16, LLCAssoc: 12,
+		L2Lat: 14, LLCLat: 40, MemLat: 220,
+		FetchLat:   0.06, // low LLC latency + deep fetch queues recover fast
+		IssueWidth: 5.2, MispredictPenalty: 17,
+		PredictorQuality: 1.0,
+		GHz:              5.0,
+	}
+}
+
+// IntelXeon is the Intel Xeon Gold 5512U server part.
+func IntelXeon() Machine {
+	return Machine{
+		Name: "Intel Xeon Gold 5512U", ISA: "x86",
+		L1ISize: 32 << 10, L1DSize: 48 << 10,
+		L2Size: 2 << 20, LLCSize: 52<<20 + 1<<19, // 52.5 MB
+		L1Assoc: 8, L2Assoc: 16, LLCAssoc: 15,
+		L2Lat: 16, LLCLat: 80, MemLat: 300, // ~2x the Core's LLC latency (§7.2)
+		FetchLat:   0.18,
+		IssueWidth: 4.6, MispredictPenalty: 18,
+		PredictorQuality: 1.0,
+		GHz:              3.7,
+	}
+}
+
+// AMD is the AMD Ryzen 7 4800HS laptop part with its small 8 MB LLC.
+func AMD() Machine {
+	return Machine{
+		Name: "AMD Ryzen 7 4800HS", ISA: "x86",
+		L1ISize: 32 << 10, L1DSize: 32 << 10,
+		L2Size: 512 << 10, LLCSize: 8 << 20,
+		L1Assoc: 8, L2Assoc: 8, LLCAssoc: 16,
+		L2Lat: 12, LLCLat: 38, MemLat: 280,
+		FetchLat:   0.10,
+		IssueWidth: 4.3, MispredictPenalty: 16,
+		PredictorQuality: 1.0,
+		GHz:              4.2,
+	}
+}
+
+// Graviton is the AWS Graviton 4 server part with 64 KB L1 caches.
+func Graviton() Machine {
+	return Machine{
+		Name: "AWS Graviton 4", ISA: "arm",
+		L1ISize: 64 << 10, L1DSize: 64 << 10,
+		L2Size: 2 << 20, LLCSize: 36 << 20,
+		L1Assoc: 8, L2Assoc: 16, LLCAssoc: 16,
+		L2Lat: 13, LLCLat: 55, MemLat: 260,
+		FetchLat:   0.12,
+		IssueWidth: 4.8, MispredictPenalty: 14,
+		PredictorQuality: 0.01, // §7.5: Verilator mispredicts 0.22% here vs 22% on Xeon
+		GHz:              2.8,
+	}
+}
+
+// All returns the four hosts in the paper's presentation order.
+func All() []Machine {
+	return []Machine{IntelCore(), IntelXeon(), AMD(), Graviton()}
+}
+
+// ScaleCaches divides every cache capacity by factor, used when designs are
+// synthesised at 1/factor scale so that footprint-to-capacity ratios — the
+// quantity all the paper's cache effects depend on — are preserved.
+func (m Machine) ScaleCaches(factor int) Machine {
+	if factor <= 1 {
+		return m
+	}
+	f := int64(factor)
+	m.L1ISize /= f
+	m.L1DSize /= f
+	m.L2Size /= f
+	m.LLCSize /= f
+	return m
+}
+
+// WithLLC overrides the LLC capacity (Intel CAT experiments, Figure 21).
+func (m Machine) WithLLC(bytes int64) Machine {
+	m.LLCSize = bytes
+	return m
+}

@@ -1,0 +1,51 @@
+package machines
+
+import "testing"
+
+func TestTable2Geometry(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("machines = %d, want 4", len(all))
+	}
+	core, xeon, amd, aws := all[0], all[1], all[2], all[3]
+	// Table 2 cache sizes.
+	if core.L1ISize != 32<<10 || core.L1DSize != 48<<10 || core.LLCSize != 36<<20 {
+		t.Error("Intel Core geometry")
+	}
+	if xeon.LLCSize != 52<<20+1<<19 {
+		t.Error("Xeon LLC should be 52.5 MB")
+	}
+	if amd.L2Size != 512<<10 || amd.LLCSize != 8<<20 {
+		t.Error("AMD geometry")
+	}
+	if aws.L1ISize != 64<<10 || aws.L1DSize != 64<<10 {
+		t.Error("Graviton L1 geometry")
+	}
+	// The §7.2 observation: Xeon LLC latency roughly twice the Core's.
+	if float64(xeon.LLCLat) < 1.8*float64(core.LLCLat) {
+		t.Errorf("Xeon LLC latency %d should be ~2x Core %d", xeon.LLCLat, core.LLCLat)
+	}
+	// The §7.5 observation: Graviton's predictor far outperforms x86 here.
+	if aws.PredictorQuality >= 0.1 {
+		t.Error("Graviton predictor quality should be near-perfect")
+	}
+	for _, m := range all {
+		if m.GHz <= 0 || m.IssueWidth <= 0 || m.MispredictPenalty <= 0 {
+			t.Errorf("%s: degenerate parameters", m.Name)
+		}
+	}
+}
+
+func TestScaleAndOverride(t *testing.T) {
+	m := IntelCore()
+	s := m.ScaleCaches(4)
+	if s.L1ISize != m.L1ISize/4 || s.L2Size != m.L2Size/4 {
+		t.Error("ScaleCaches")
+	}
+	if m.WithLLC(1<<20).LLCSize != 1<<20 {
+		t.Error("WithLLC")
+	}
+	if m.ScaleCaches(0).L1ISize != m.L1ISize {
+		t.Error("scale <= 1 must be identity")
+	}
+}

@@ -1,0 +1,130 @@
+package oim
+
+import "fmt"
+
+// Arrays is the concrete coordinate/payload-array lowering of the OIM for
+// the [I, S, N, O, R] rank order (Figure 13b). The optimized variant
+// (Figure 12b) elides the payload arrays whose content is implied by
+// structure; the unoptimized variant (Figure 12a) keeps them, which the
+// format-ablation benchmarks exercise.
+type Arrays struct {
+	Optimized bool
+
+	// IPayload[i] is the operation count of layer i (I-rank payloads).
+	IPayload []int32
+	// SCoord holds each operation's output slot, layer-major.
+	SCoord []int32
+	// NCoord holds each operation's type (N coordinate), aligned with SCoord.
+	NCoord []uint16
+	// RCoord holds operand slots, operation-major in operand order.
+	RCoord []int32
+	// ROffset[k] is the index into RCoord where operation k's operands
+	// start (derived, not part of the stored format: kernels that honour
+	// the format walk RCoord sequentially, mirroring the next() traversal
+	// of Algorithm 3).
+	ROffset []int32
+
+	// Unoptimized-only payload arrays (Figure 12a).
+	SPayload []int32 // occupancy of each op's N fiber (always 1)
+	NPayload []int32 // operand count per op (arity)
+	OPayload []int32 // occupancy of each operand's R fiber (always 1)
+	RPayload []uint8 // mask bit per operand (always 1)
+}
+
+// Lower produces the [I,S,N,O,R] array lowering.
+func (t *Tensor) Lower(optimized bool) *Arrays {
+	a := &Arrays{Optimized: optimized}
+	total := t.TotalOps()
+	a.IPayload = make([]int32, t.NumLayers())
+	a.SCoord = make([]int32, 0, total)
+	a.NCoord = make([]uint16, 0, total)
+	a.RCoord = make([]int32, 0, t.TotalOperands())
+	a.ROffset = make([]int32, 0, total+1)
+	for i, layer := range t.Layers {
+		a.IPayload[i] = int32(len(layer))
+		for _, op := range layer {
+			a.ROffset = append(a.ROffset, int32(len(a.RCoord)))
+			a.SCoord = append(a.SCoord, op.Out)
+			a.NCoord = append(a.NCoord, op.Sig)
+			a.RCoord = append(a.RCoord, op.Args...)
+			if !optimized {
+				a.SPayload = append(a.SPayload, 1)
+				a.NPayload = append(a.NPayload, int32(len(op.Args)))
+				for range op.Args {
+					a.OPayload = append(a.OPayload, 1)
+					a.RPayload = append(a.RPayload, 1)
+				}
+			}
+		}
+	}
+	a.ROffset = append(a.ROffset, int32(len(a.RCoord)))
+	return a
+}
+
+// Swizzled is the [I, N, S, O, R] lowering used from the NU kernel onward
+// (Figure 12c): within each layer, operations are grouped by type; the
+// uncompressed N rank stores one count per (layer, type).
+type Swizzled struct {
+	NumSigs int
+	// NPayload[layer*NumSigs + sig] is the operation count of that group.
+	NPayload []int32
+	// SCoord lists output slots grouped by (layer, sig), each group in
+	// ascending S coordinate.
+	SCoord []int32
+	// RCoord lists operand slots aligned with SCoord groups (each op in a
+	// group contributes exactly Arity(sig) entries).
+	RCoord []int32
+}
+
+// LowerSwizzled produces the [I,N,S,O,R] lowering.
+func (t *Tensor) LowerSwizzled() *Swizzled {
+	sw := &Swizzled{NumSigs: len(t.OpTable)}
+	sw.NPayload = make([]int32, t.NumLayers()*len(t.OpTable))
+	sw.SCoord = make([]int32, 0, t.TotalOps())
+	sw.RCoord = make([]int32, 0, t.TotalOperands())
+	for i, layer := range t.Layers {
+		base := i * sw.NumSigs
+		// Group by sig preserving ascending S order within each group: a
+		// stable bucket pass over the (already sorted) layer.
+		for sig := 0; sig < sw.NumSigs; sig++ {
+			for _, op := range layer {
+				if int(op.Sig) != sig {
+					continue
+				}
+				sw.NPayload[base+sig]++
+				sw.SCoord = append(sw.SCoord, op.Out)
+				sw.RCoord = append(sw.RCoord, op.Args...)
+			}
+		}
+	}
+	return sw
+}
+
+// Validate cross-checks a lowering against the canonical tensor.
+func (a *Arrays) Validate(t *Tensor) error {
+	if len(a.SCoord) != t.TotalOps() || len(a.RCoord) != t.TotalOperands() {
+		return fmt.Errorf("oim: array sizes diverge from canonical tensor")
+	}
+	k, r := 0, 0
+	for i, layer := range t.Layers {
+		if int(a.IPayload[i]) != len(layer) {
+			return fmt.Errorf("oim: IPayload[%d] = %d, want %d", i, a.IPayload[i], len(layer))
+		}
+		for _, op := range layer {
+			if a.SCoord[k] != op.Out || a.NCoord[k] != op.Sig {
+				return fmt.Errorf("oim: op %d coords diverge", k)
+			}
+			if a.ROffset[k] != int32(r) {
+				return fmt.Errorf("oim: ROffset[%d] = %d, want %d", k, a.ROffset[k], r)
+			}
+			for _, arg := range op.Args {
+				if a.RCoord[r] != arg {
+					return fmt.Errorf("oim: RCoord[%d] diverges", r)
+				}
+				r++
+			}
+			k++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package perf implements the CPU performance model used to reproduce the
+// paper's measurements: set-associative LRU caches, a gshare branch
+// predictor, and a pipeline cost model with top-down accounting (§3, §7;
+// Yasin's top-down method). It consumes the memory-reference and control
+// event streams that internal/codegen derives from each simulator's real
+// data structures, so capacity and locality effects come from genuine
+// addresses rather than formulas.
+package perf
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	sets   int
+	ways   int
+	lineSz uint64
+	tags   []uint64 // sets × ways; 0 = invalid
+	stamps []uint64 // LRU timestamps
+	clock  uint64
+	// random selects random replacement instead of LRU; large shared LLCs
+	// behave this way, which matters for cyclic sweeps slightly larger
+	// than the cache (straight-line simulator code), where strict LRU
+	// would predict zero hits.
+	random bool
+	rng    uint64
+	Hits   uint64
+	Misses uint64
+	Writes uint64
+}
+
+// NewCache builds a cache of the given capacity in bytes. Capacity is
+// rounded down to a whole number of sets; tiny capacities degrade to a
+// single set.
+func NewCache(capacity int64, ways int, lineSz int) *Cache {
+	if ways < 1 {
+		ways = 1
+	}
+	sets := int(capacity) / (ways * lineSz)
+	if sets < 1 {
+		sets = 1
+	}
+	// Power-of-two sets for cheap indexing.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &Cache{
+		sets:   sets,
+		ways:   ways,
+		lineSz: uint64(lineSz),
+		tags:   make([]uint64, sets*ways),
+		stamps: make([]uint64, sets*ways),
+		rng:    0x9E3779B97F4A7C15,
+	}
+}
+
+// NewRandomCache builds a cache with random replacement.
+func NewRandomCache(capacity int64, ways int, lineSz int) *Cache {
+	c := NewCache(capacity, ways, lineSz)
+	c.random = true
+	return c
+}
+
+// Access touches addr; returns true on hit. Misses install the line.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	if write {
+		c.Writes++
+	}
+	line := addr / c.lineSz
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+	tag := line + 1 // +1 so 0 stays "invalid"
+	var victim, oldest = base, c.stamps[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if c.stamps[i] < oldest {
+			victim, oldest = i, c.stamps[i]
+		}
+	}
+	c.Misses++
+	if c.random {
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		victim = base + int(c.rng%uint64(c.ways))
+	}
+	c.tags[victim] = tag
+	c.stamps[victim] = c.clock
+	return false
+}
+
+// Probe checks for addr without installing it on a miss (non-allocating,
+// used for streaming accesses that real hierarchies avoid caching).
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr / c.lineSz
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+	tag := line + 1
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats zeroes counters but keeps cache contents (for warmup).
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses, c.Writes = 0, 0, 0
+}
+
+// Accesses is the total access count since the last ResetStats.
+func (c *Cache) Accesses() uint64 { return c.Hits + c.Misses }
+
+// Gshare is a global-history branch predictor with 2-bit counters.
+type Gshare struct {
+	table   []uint8
+	history uint64
+	mask    uint64
+	Lookups uint64
+	Misses  uint64
+}
+
+// NewGshare builds a predictor with 2^bits counters.
+func NewGshare(bits int) *Gshare {
+	return &Gshare{table: make([]uint8, 1<<bits), mask: (1 << bits) - 1}
+}
+
+// Predict consumes one branch outcome and reports whether the predictor got
+// it right.
+func (g *Gshare) Predict(pc uint64, taken bool) bool {
+	idx := (pc ^ g.history) & g.mask
+	ctr := g.table[idx]
+	pred := ctr >= 2
+	g.Lookups++
+	if pred != taken {
+		g.Misses++
+	}
+	if taken && ctr < 3 {
+		g.table[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		g.table[idx] = ctr - 1
+	}
+	g.history = (g.history << 1) | b2u(taken)
+	return pred == taken
+}
+
+// ResetStats zeroes counters, keeping learned state.
+func (g *Gshare) ResetStats() { g.Lookups, g.Misses = 0, 0 }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

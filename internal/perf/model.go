@@ -1,0 +1,243 @@
+package perf
+
+import (
+	"rteaal/internal/codegen"
+	"rteaal/internal/machines"
+)
+
+// Metrics is one simulator's modelled execution profile on one machine,
+// extrapolated to the full design size and workload length.
+type Metrics struct {
+	Program string
+	Machine string
+
+	// Per-workload totals.
+	DynInst        float64 // total dynamic instructions
+	Cycles         float64 // total machine cycles
+	IPC            float64
+	SimTimeSec     float64
+	L1IMisses      float64
+	L1DLoads       float64
+	L1DMisses      float64
+	LLCMisses      float64
+	L1IMPKI        float64
+	BranchMissRate float64 // fraction of branches mispredicted
+
+	// Top-down breakdown (fractions of pipeline slots).
+	FrontendBound float64
+	BadSpec       float64
+	Others        float64 // backend-bound + retiring, as in Figure 7
+}
+
+// Options tune one model run.
+type Options struct {
+	// SimCycles is the workload length (Table 3) used for extrapolation.
+	SimCycles int64
+	// WarmupCycles prime caches and predictor before measurement.
+	WarmupCycles int
+	// MeasureCycles are averaged for the steady-state profile.
+	MeasureCycles int
+	// OptLevel scales the instruction stream for -O0 runs (§7.4).
+	OptLevel codegen.OptLevel
+}
+
+// DefaultOptions is suitable for all the paper experiments: full-cycle
+// simulation repeats the same instruction stream every cycle, so the
+// per-cycle profile converges almost immediately.
+func DefaultOptions(simCycles int64) Options {
+	return Options{SimCycles: simCycles, WarmupCycles: 2, MeasureCycles: 3, OptLevel: codegen.O3}
+}
+
+// replaySink drives the cache hierarchy and predictor from the reference
+// stream and accumulates stall penalties.
+type replaySink struct {
+	m     machines.Machine
+	fdisc float64
+	l1i   *Cache
+	l1d   *Cache
+	l2    *Cache
+	llc   *Cache
+	bp    *Gshare
+
+	inst        float64
+	loads       float64
+	stores      float64
+	branches    float64
+	mispredicts float64
+	fetchPen    float64
+	dataPen     float64
+	l1iMiss     float64
+	l1dMiss     float64
+	llcMiss     float64
+	l1dAccess   float64
+}
+
+const lineSize = 64
+
+// Overlap factors model memory-level parallelism and prefetching on
+// out-of-order cores: irregular LI loads overlap substantially, sequential
+// metadata streams are almost fully hidden by the stride prefetcher (§7.2),
+// and stores retire through the store buffer.
+const (
+	dataOverlap  = 0.10
+	seqOverlap   = 0.015
+	storeOverlap = 0.05
+)
+
+func newReplaySink(m machines.Machine) *replaySink {
+	return &replaySink{
+		m:   m,
+		l1i: NewCache(m.L1ISize, m.L1Assoc, lineSize),
+		l1d: NewCache(m.L1DSize, m.L1Assoc, lineSize),
+		l2:  NewCache(m.L2Size, m.L2Assoc, lineSize),
+		llc: NewRandomCache(m.LLCSize, m.LLCAssoc, lineSize),
+		bp:  NewGshare(14),
+	}
+}
+
+func (s *replaySink) resetStats() {
+	s.l1i.ResetStats()
+	s.l1d.ResetStats()
+	s.l2.ResetStats()
+	s.llc.ResetStats()
+	s.bp.ResetStats()
+	s.inst, s.loads, s.stores = 0, 0, 0
+	s.branches, s.mispredicts = 0, 0
+	s.fetchPen, s.dataPen = 0, 0
+	s.l1iMiss, s.l1dMiss, s.llcMiss = 0, 0, 0
+	s.l1dAccess = 0
+}
+
+// miss walks one reference through L2/LLC/memory and returns its latency.
+func (s *replaySink) missPath(addr uint64) float64 {
+	if s.l2.Access(addr, false) {
+		return float64(s.m.L2Lat)
+	}
+	if s.llc.Access(addr, false) {
+		return float64(s.m.LLCLat)
+	}
+	s.llcMiss++
+	return float64(s.m.MemLat)
+}
+
+func (s *replaySink) Fetch(addr uint64, bytes int64) {
+	for line := addr / lineSize; line <= (addr+uint64(bytes)-1)/lineSize; line++ {
+		a := line * lineSize
+		if !s.l1i.Access(a, false) {
+			s.l1iMiss++
+			s.fetchPen += s.missPath(a) * s.m.FetchLat * s.fdisc
+		}
+	}
+}
+
+func (s *replaySink) Load(addr uint64) {
+	s.loads++
+	s.l1dAccess++
+	if !s.l1d.Access(addr, false) {
+		s.l1dMiss++
+		s.dataPen += s.missPath(addr) * dataOverlap
+	}
+}
+
+func (s *replaySink) LoadSeq(addr uint64) {
+	s.loads++
+	s.l1dAccess++
+	if !s.l1d.Access(addr, false) {
+		s.l1dMiss++
+		// Streaming loads probe without allocating beyond L1: hardware
+		// stream detection keeps one-shot metadata sweeps from evicting
+		// the working set (LI) out of L2/LLC.
+		switch {
+		case s.l2.Probe(addr):
+			s.dataPen += float64(s.m.L2Lat) * seqOverlap
+		case s.llc.Probe(addr):
+			s.dataPen += float64(s.m.LLCLat) * seqOverlap
+		default:
+			s.dataPen += float64(s.m.MemLat) * seqOverlap
+		}
+	}
+}
+
+func (s *replaySink) Store(addr uint64) {
+	s.stores++
+	s.l1dAccess++
+	if !s.l1d.Access(addr, true) {
+		s.l1dMiss++
+		s.dataPen += s.missPath(addr) * storeOverlap // store buffers hide more
+	}
+}
+
+func (s *replaySink) Branch(pc uint64, taken bool) {
+	s.branches++
+	if !s.bp.Predict(pc, taken) {
+		s.mispredicts++
+	}
+}
+
+func (s *replaySink) Exec(n float64)    { s.inst += n }
+func (s *replaySink) HotLoad(n float64) { s.loads += n; s.inst += n }
+
+// Run models a program on a machine. The machine's caches are scaled down
+// by the program's design scale so footprint-to-capacity ratios match the
+// full-size design; reported totals are extrapolated back up.
+func Run(p *codegen.Program, m machines.Machine, opts Options) Metrics {
+	m2 := m.ScaleCaches(p.Scale)
+	sink := newReplaySink(m2)
+	sink.fdisc = p.FetchDiscount
+	if sink.fdisc == 0 {
+		sink.fdisc = 1
+	}
+	for i := 0; i < opts.WarmupCycles; i++ {
+		p.Stream(sink)
+	}
+	sink.resetStats()
+	n := opts.MeasureCycles
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		p.Stream(sink)
+	}
+	fn := float64(n)
+
+	instMult := 1.0
+	if opts.OptLevel == codegen.O0 {
+		instMult = codegen.DynInstMultiplierO0(p.Name)
+	}
+	// Per simulated circuit-cycle steady-state profile. The instruction
+	// count is the calibrated total (Table 5); the replayed events provide
+	// the cache and branch behaviour.
+	instPC := p.InstPerCycle * instMult
+	fetchPC := sink.fetchPen / fn
+	dataPC := sink.dataPen / fn * instMult // -O0 reloads everything from stack
+	mispredPC := sink.mispredicts / fn * m2.PredictorQuality
+	brPenPC := mispredPC * float64(m2.MispredictPenalty)
+
+	issuePC := instPC / m2.IssueWidth
+	cyclesPC := issuePC + fetchPC + dataPC + brPenPC
+
+	scale := float64(p.Scale)
+	total := float64(opts.SimCycles)
+	met := Metrics{
+		Program: p.Name,
+		Machine: m.Name,
+		DynInst: instPC * scale * total,
+		Cycles:  cyclesPC * scale * total,
+	}
+	met.IPC = met.DynInst / met.Cycles
+	met.SimTimeSec = met.Cycles / (m.GHz * 1e9)
+	met.L1IMisses = sink.l1iMiss / fn * scale * total
+	met.L1DLoads = sink.loads / fn * scale * total * instMult
+	met.L1DMisses = sink.l1dMiss / fn * scale * total
+	met.LLCMisses = sink.llcMiss / fn * scale * total
+	if met.DynInst > 0 {
+		met.L1IMPKI = met.L1IMisses / (met.DynInst / 1000)
+	}
+	if sink.branches > 0 {
+		met.BranchMissRate = mispredPC / (sink.branches / fn)
+	}
+	met.FrontendBound = fetchPC / cyclesPC
+	met.BadSpec = brPenPC / cyclesPC
+	met.Others = 1 - met.FrontendBound - met.BadSpec
+	return met
+}

@@ -1,0 +1,232 @@
+// Package repcut implements RepCut-style parallel RTL simulation (§8 and
+// Appendix C) on top of the RTeAAL kernels: the design is split into
+// partitions with replication-aided cuts — each partition owns a subset of
+// the registers and replicates the full combinational cone needed to
+// compute their next states, eliminating intra-cycle communication. At the
+// end of every cycle a synchronisation step, described by the RUM (Register
+// Update Map) tensor of Cascade 2, propagates each register's committed
+// value to the partitions that read it.
+package repcut
+
+import (
+	"fmt"
+	"sync"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/kernel"
+	"rteaal/internal/oim"
+)
+
+// Partitioned is a parallel simulator over one design.
+type Partitioned struct {
+	t       *oim.Tensor
+	engines []kernel.Engine
+	// rum[p] lists, for partition p's owned registers, the (Q slot, reader
+	// partition) pairs to propagate after commit: the RUM tensor lowered
+	// to adjacency form.
+	rum [][]rumEntry
+	// ownedRegs[p] indexes t.RegSlots owned by partition p.
+	ownedRegs [][]int
+	// ReplicationFactor is total replicated ops over design ops.
+	ReplicationFactor float64
+
+	outs     []uint64
+	outOwner []int
+}
+
+type rumEntry struct {
+	q      int32
+	reader int
+}
+
+// New partitions the design into n parts and builds one kernel engine per
+// part. Registers are distributed round-robin; each partition's tensor
+// contains exactly the cone of operations its registers and assigned
+// outputs need (replication-aided partitioning: shared logic is copied).
+func New(t *oim.Tensor, n int, kind kernel.Kind) (*Partitioned, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("repcut: need at least one partition")
+	}
+	p := &Partitioned{
+		t:         t,
+		rum:       make([][]rumEntry, n),
+		ownedRegs: make([][]int, n),
+		outs:      make([]uint64, len(t.OutputSlots)),
+		outOwner:  make([]int, len(t.OutputSlots)),
+	}
+
+	// producers: slot -> (layer, index) for op outputs.
+	type opAt struct{ layer, idx int }
+	producer := make(map[int32]opAt)
+	for li, layer := range t.Layers {
+		for oi, op := range layer {
+			producer[op.Out] = opAt{li, oi}
+		}
+	}
+
+	// Ownership.
+	for i := range t.RegSlots {
+		p.ownedRegs[i%n] = append(p.ownedRegs[i%n], i)
+	}
+	for i := range t.OutputSlots {
+		p.outOwner[i] = i % n
+	}
+
+	// Per-partition cone marking.
+	totalOps := t.TotalOps()
+	var replicated int
+	for part := 0; part < n; part++ {
+		need := make(map[int32]bool)
+		var stack []int32
+		want := func(slot int32) {
+			if !need[slot] {
+				need[slot] = true
+				stack = append(stack, slot)
+			}
+		}
+		for _, ri := range p.ownedRegs[part] {
+			want(t.RegSlots[ri].Next)
+		}
+		for oi, slot := range t.OutputSlots {
+			if p.outOwner[oi] == part {
+				want(slot)
+			}
+		}
+		for len(stack) > 0 {
+			slot := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			at, ok := producer[slot]
+			if !ok {
+				continue // source: register, input, or constant
+			}
+			for _, arg := range t.Layers[at.layer][at.idx].Args {
+				want(arg)
+			}
+		}
+
+		// Build the partition tensor: same slot space, filtered layers,
+		// owned registers only.
+		sub := &oim.Tensor{
+			Design:      fmt.Sprintf("%s.part%d", t.Design, part),
+			NumSlots:    t.NumSlots,
+			OpTable:     t.OpTable,
+			Masks:       t.Masks,
+			InputSlots:  t.InputSlots,
+			OutputSlots: t.OutputSlots,
+			InputNames:  t.InputNames,
+			OutputNames: t.OutputNames,
+		}
+		owned := make(map[int]bool)
+		for _, ri := range p.ownedRegs[part] {
+			sub.RegSlots = append(sub.RegSlots, t.RegSlots[ri])
+			owned[ri] = true
+		}
+		// Foreign registers are read-only state refreshed by the RUM sync;
+		// their initial values must still be preloaded at reset.
+		sub.ConstSlots = append([]dfg.SlotInit(nil), t.ConstSlots...)
+		for ri, r := range t.RegSlots {
+			if !owned[ri] {
+				sub.ConstSlots = append(sub.ConstSlots, dfg.SlotInit{Slot: r.Q, Value: r.Init})
+			}
+		}
+		for _, layer := range t.Layers {
+			var ops []oim.Op
+			for _, op := range layer {
+				if need[op.Out] {
+					ops = append(ops, op)
+					replicated++
+				}
+			}
+			if len(ops) > 0 || len(sub.Layers) > 0 {
+				sub.Layers = append(sub.Layers, ops)
+			}
+		}
+		// Trim trailing empty layers.
+		for len(sub.Layers) > 0 && len(sub.Layers[len(sub.Layers)-1]) == 0 {
+			sub.Layers = sub.Layers[:len(sub.Layers)-1]
+		}
+		eng, err := kernel.New(sub, kernel.Config{Kind: kind})
+		if err != nil {
+			return nil, fmt.Errorf("repcut: partition %d: %w", part, err)
+		}
+		p.engines = append(p.engines, eng)
+	}
+	if totalOps > 0 {
+		p.ReplicationFactor = float64(replicated) / float64(totalOps)
+	} else {
+		p.ReplicationFactor = 1
+	}
+
+	// RUM: each owned register propagates to every other partition (a
+	// register is a source every cone may read; propagating to actual
+	// readers only is the differential-exchange optimisation, Box 1).
+	for part := 0; part < n; part++ {
+		for _, ri := range p.ownedRegs[part] {
+			q := p.t.RegSlots[ri].Q
+			for other := 0; other < n; other++ {
+				if other != part {
+					p.rum[part] = append(p.rum[part], rumEntry{q: q, reader: other})
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Partitions returns the partition count.
+func (p *Partitioned) Partitions() int { return len(p.engines) }
+
+// PokeInput broadcasts a primary input to every partition.
+func (p *Partitioned) PokeInput(idx int, v uint64) {
+	for _, e := range p.engines {
+		e.PokeInput(idx, v)
+	}
+}
+
+// Step runs one cycle: parallel settle+commit in every partition, then the
+// RUM synchronisation step (the final einsum of Cascade 2).
+func (p *Partitioned) Step() {
+	var wg sync.WaitGroup
+	for _, e := range p.engines {
+		wg.Add(1)
+		go func(e kernel.Engine) {
+			defer wg.Done()
+			e.Step()
+		}(e)
+	}
+	wg.Wait()
+	// Sample outputs from their owning partitions (pre-commit samples are
+	// stored inside each engine).
+	for i := range p.outs {
+		p.outs[i] = p.engines[p.outOwner[i]].PeekOutput(i)
+	}
+	// Synchronisation: LI[c+1] = LI[c,I] · RUM (Cascade 2's final einsum).
+	for part, entries := range p.rum {
+		src := p.engines[part]
+		for _, e := range entries {
+			p.engines[e.reader].PokeSlot(e.q, src.PeekSlot(e.q))
+		}
+	}
+}
+
+// PeekOutput reads a primary output sampled at the last Step.
+func (p *Partitioned) PeekOutput(idx int) uint64 { return p.outs[idx] }
+
+// RegSnapshot reassembles the full register state in t.RegSlots order.
+func (p *Partitioned) RegSnapshot() []uint64 {
+	out := make([]uint64, len(p.t.RegSlots))
+	for part, regs := range p.ownedRegs {
+		snap := p.engines[part].RegSnapshot()
+		for i, ri := range regs {
+			out[ri] = snap[i]
+		}
+	}
+	return out
+}
+
+// Reset restores every partition.
+func (p *Partitioned) Reset() {
+	for _, e := range p.engines {
+		e.Reset()
+	}
+}

@@ -1,0 +1,117 @@
+package repcut
+
+import (
+	"math/rand"
+	"testing"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/kernel"
+	"rteaal/internal/oim"
+)
+
+func build(t *testing.T, g *dfg.Graph) *oim.Tensor {
+	t.Helper()
+	lv, err := dfg.Levelize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := oim.Build(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ten
+}
+
+// TestRepCutMatchesSequential is the headline property: partitioned
+// parallel simulation with register synchronisation must be bit-identical
+// to the single-engine simulation for any partition count.
+func TestRepCutMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		g := dfg.RandomGraph(rng, dfg.RandomParams{
+			Inputs: 4, Regs: 9, Ops: 120, Consts: 5, MaxWidth: 16, MuxBias: 0.3})
+		opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ten := build(t, opt)
+		ref, err := kernel.New(ten, kernel.Config{Kind: kernel.PSU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, parts := range []int{1, 2, 3, 4} {
+			pc, err := New(ten, parts, kernel.PSU)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pc.Partitions() != parts {
+				t.Fatalf("partitions = %d", pc.Partitions())
+			}
+			ref.Reset()
+			stim := rand.New(rand.NewSource(int64(trial)))
+			for cyc := 0; cyc < 12; cyc++ {
+				for i := range ten.InputSlots {
+					v := stim.Uint64()
+					ref.PokeInput(i, v)
+					pc.PokeInput(i, v)
+				}
+				ref.Step()
+				pc.Step()
+				rr, pr := ref.RegSnapshot(), pc.RegSnapshot()
+				for i := range rr {
+					if rr[i] != pr[i] {
+						t.Fatalf("trial %d parts %d cycle %d: reg %d = %d, want %d",
+							trial, parts, cyc, i, pr[i], rr[i])
+					}
+				}
+				for i := range ten.OutputSlots {
+					if ref.PeekOutput(i) != pc.PeekOutput(i) {
+						t.Fatalf("trial %d parts %d cycle %d: output %d diverges",
+							trial, parts, cyc, i)
+					}
+				}
+			}
+			pc.Reset()
+			if pc.ReplicationFactor < 1.0 && ten.TotalOps() > 0 && parts > 1 {
+				t.Fatalf("replication factor %.2f < 1", pc.ReplicationFactor)
+			}
+		}
+	}
+}
+
+func TestReplicationGrowsWithPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := dfg.RandomGraph(rng, dfg.RandomParams{
+		Inputs: 4, Regs: 12, Ops: 300, Consts: 5, MaxWidth: 16, MuxBias: 0.25})
+	// DCE first so every remaining op is live; replication is then
+	// measured against genuinely needed logic.
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten := build(t, opt)
+	prev := 0.0
+	for _, parts := range []int{1, 2, 4, 8} {
+		pc, err := New(ten, parts, kernel.NU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pc.ReplicationFactor < prev {
+			t.Fatalf("replication factor decreased: %f -> %f at %d parts",
+				prev, pc.ReplicationFactor, parts)
+		}
+		prev = pc.ReplicationFactor
+	}
+	if prev <= 1.0 {
+		t.Fatalf("8-way partitioning should replicate some logic, factor=%f", prev)
+	}
+}
+
+func TestRejectsZeroPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := dfg.RandomGraph(rng, dfg.DefaultRandomParams())
+	ten := build(t, g)
+	if _, err := New(ten, 0, kernel.PSU); err == nil {
+		t.Fatal("want error for zero partitions")
+	}
+}

@@ -1,0 +1,190 @@
+// Package teaal models the TeAAL separation of concerns the paper uses to
+// organise RTL-simulation optimisations (§2.5): the cascade says *what* is
+// computed, while the mapping (loop order, unrolling), format (per-rank
+// compressed/uncompressed layout with coordinate and payload bitwidths), and
+// binding (how the mapped kernel lowers to code — which parts become data
+// and which become instructions) say *how*.
+//
+// The three OIM formats of Figure 12 are provided as constructors, and
+// Footprint computes the concrete metadata bytes a lowered tensor occupies,
+// which drives the data-cache side of the performance model.
+package teaal
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// RankFormat describes the concrete layout of one rank's fibers (§2.5.2).
+type RankFormat struct {
+	Name string
+	// Compressed ranks store size-proportional-to-occupancy arrays;
+	// uncompressed ranks are size-proportional-to-shape.
+	Compressed bool
+	// CBits is the coordinate bitwidth; 0 means coordinates are implicit
+	// (encoded by array position), as in uncompressed ranks.
+	CBits int
+	// PBits is the payload bitwidth; 0 means the payload array is elided
+	// because the information is redundant (§5.1).
+	PBits int
+}
+
+func (r RankFormat) String() string {
+	f := "U"
+	if r.Compressed {
+		f = "C"
+	}
+	return fmt.Sprintf("%s: format: %s cbits: %d pbits: %d", r.Name, f, r.CBits, r.PBits)
+}
+
+// Format is a per-rank format specification with an explicit rank order.
+type Format struct {
+	Tensor    string
+	RankOrder []string
+	Ranks     []RankFormat
+}
+
+func (f Format) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n  rank-order: [%s]\n", f.Tensor, strings.Join(f.RankOrder, ", "))
+	for _, r := range f.Ranks {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return b.String()
+}
+
+// Rank returns the format of the named rank.
+func (f Format) Rank(name string) (RankFormat, bool) {
+	for _, r := range f.Ranks {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return RankFormat{}, false
+}
+
+// BitsFor returns the bitwidth needed to store values up to max (at least 1).
+func BitsFor(max uint64) int {
+	if max == 0 {
+		return 1
+	}
+	return bits.Len64(max)
+}
+
+// NonZero is a placeholder bitwidth meaning "determined offline from the
+// maximum value" (the paper's "non-zero" annotation); Concretise replaces it.
+const NonZero = -1
+
+// OIMUnoptimized is the Figure 12a format: every rank keeps explicit
+// payloads, compressed ranks keep explicit coordinates.
+func OIMUnoptimized() Format {
+	return Format{
+		Tensor:    "OIM",
+		RankOrder: []string{"I", "S", "N", "O", "R"},
+		Ranks: []RankFormat{
+			{Name: "I", Compressed: false, CBits: 0, PBits: NonZero},
+			{Name: "S", Compressed: true, CBits: NonZero, PBits: NonZero},
+			{Name: "N", Compressed: true, CBits: NonZero, PBits: NonZero},
+			{Name: "O", Compressed: false, CBits: 0, PBits: NonZero},
+			{Name: "R", Compressed: true, CBits: NonZero, PBits: NonZero},
+		},
+	}
+}
+
+// OIMOptimized is the Figure 12b format: payloads of one-hot ranks (N, R)
+// and of the ranks above them (S, O) are elided, because fiber occupancy is
+// either constant or implied by the operation type; the R rank's mask
+// payloads are implied by coordinate presence.
+func OIMOptimized() Format {
+	return Format{
+		Tensor:    "OIM",
+		RankOrder: []string{"I", "S", "N", "O", "R"},
+		Ranks: []RankFormat{
+			{Name: "I", Compressed: false, CBits: 0, PBits: NonZero},
+			{Name: "S", Compressed: true, CBits: NonZero, PBits: 0},
+			{Name: "N", Compressed: true, CBits: NonZero, PBits: 0},
+			{Name: "O", Compressed: false, CBits: 0, PBits: 0},
+			{Name: "R", Compressed: true, CBits: NonZero, PBits: 0},
+		},
+	}
+}
+
+// OIMSwizzled is the Figure 12c format for the [I, N, S, O, R] loop order
+// used from the NU kernel onward: the N rank becomes uncompressed with
+// payloads counting the operations per type, making the I payloads and the
+// S payloads redundant.
+func OIMSwizzled() Format {
+	return Format{
+		Tensor:    "OIM",
+		RankOrder: []string{"I", "N", "S", "O", "R"},
+		Ranks: []RankFormat{
+			{Name: "I", Compressed: false, CBits: 0, PBits: 0},
+			{Name: "N", Compressed: false, CBits: 0, PBits: NonZero},
+			{Name: "S", Compressed: true, CBits: NonZero, PBits: 0},
+			{Name: "O", Compressed: false, CBits: 0, PBits: 0},
+			{Name: "R", Compressed: true, CBits: NonZero, PBits: 0},
+		},
+	}
+}
+
+// Concretise replaces NonZero bitwidths using the maximum coordinate and
+// payload value observed for each rank.
+func Concretise(f Format, maxCoord, maxPayload map[string]uint64) Format {
+	out := f
+	out.Ranks = append([]RankFormat(nil), f.Ranks...)
+	for i, r := range out.Ranks {
+		if r.CBits == NonZero {
+			out.Ranks[i].CBits = BitsFor(maxCoord[r.Name])
+		}
+		if r.PBits == NonZero {
+			out.Ranks[i].PBits = BitsFor(maxPayload[r.Name])
+		}
+	}
+	return out
+}
+
+// Footprint sums the metadata bytes of a lowered tensor: for each rank,
+// entries×cbits of coordinates plus entries×pbits of payloads, where the
+// entry counts come from the concrete tensor (occupancy for compressed
+// ranks, shape for uncompressed ones). Bit counts are rounded up to bytes
+// per array, matching a packed-array implementation.
+func Footprint(f Format, entries map[string]int) int64 {
+	var bits int64
+	for _, r := range f.Ranks {
+		n := int64(entries[r.Name])
+		bits += roundUpBytes(n*int64(r.CBits)) * 8
+		bits += roundUpBytes(n*int64(r.PBits)) * 8
+	}
+	return bits / 8
+}
+
+func roundUpBytes(bits int64) int64 { return (bits + 7) / 8 }
+
+// Mapping captures the §2.5.1 concerns this work exercises: loop order and
+// per-rank unrolling (partitioning and spacetime parallelism appear in the
+// RepCut engine, internal/repcut).
+type Mapping struct {
+	LoopOrder []string
+	// Unroll maps rank name to unroll factor; Full means complete.
+	Unroll map[string]int
+}
+
+// Full marks complete unrolling of a rank.
+const Full = -1
+
+func (m Mapping) String() string {
+	var parts []string
+	for _, r := range m.LoopOrder {
+		if u, ok := m.Unroll[r]; ok {
+			if u == Full {
+				parts = append(parts, r+"*")
+			} else {
+				parts = append(parts, fmt.Sprintf("%s/%d", r, u))
+			}
+		} else {
+			parts = append(parts, r)
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

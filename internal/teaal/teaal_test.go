@@ -1,0 +1,136 @@
+package teaal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct {
+		max  uint64
+		want int
+	}{{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9}, {^uint64(0), 64}}
+	for _, c := range cases {
+		if got := BitsFor(c.max); got != c.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestFigure12Formats(t *testing.T) {
+	un := OIMUnoptimized()
+	opt := OIMOptimized()
+	sw := OIMSwizzled()
+
+	if len(un.Ranks) != 5 || len(opt.Ranks) != 5 || len(sw.Ranks) != 5 {
+		t.Fatal("OIM formats must have 5 ranks")
+	}
+	// Optimized drops all payloads except I's.
+	for _, r := range opt.Ranks {
+		if r.Name == "I" {
+			if r.PBits == 0 {
+				t.Error("optimized I rank must keep payloads")
+			}
+		} else if r.PBits != 0 {
+			t.Errorf("optimized %s rank should have pbits 0", r.Name)
+		}
+	}
+	// Swizzled: rank order I,N,S,O,R; only N keeps payloads.
+	if sw.RankOrder[1] != "N" || sw.RankOrder[2] != "S" {
+		t.Errorf("swizzled rank order = %v", sw.RankOrder)
+	}
+	for _, r := range sw.Ranks {
+		want := 0
+		if r.Name == "N" {
+			want = NonZero
+		}
+		if r.PBits != want {
+			t.Errorf("swizzled %s pbits = %d, want %d", r.Name, r.PBits, want)
+		}
+	}
+	// Uncompressed ranks carry no explicit coordinates.
+	for _, f := range []Format{un, opt, sw} {
+		for _, r := range f.Ranks {
+			if !r.Compressed && r.CBits != 0 {
+				t.Errorf("%s: uncompressed rank %s has cbits %d", f.Tensor, r.Name, r.CBits)
+			}
+		}
+	}
+}
+
+func TestConcretise(t *testing.T) {
+	f := Concretise(OIMOptimized(),
+		map[string]uint64{"S": 1023, "N": 12, "R": 1023},
+		map[string]uint64{"I": 100})
+	s, _ := f.Rank("S")
+	if s.CBits != 10 {
+		t.Errorf("S cbits = %d, want 10", s.CBits)
+	}
+	n, _ := f.Rank("N")
+	if n.CBits != 4 {
+		t.Errorf("N cbits = %d, want 4", n.CBits)
+	}
+	i, _ := f.Rank("I")
+	if i.PBits != 7 {
+		t.Errorf("I pbits = %d, want 7", i.PBits)
+	}
+}
+
+func TestFootprintMath(t *testing.T) {
+	f := Format{
+		Tensor:    "T",
+		RankOrder: []string{"A", "B"},
+		Ranks: []RankFormat{
+			{Name: "A", Compressed: false, CBits: 0, PBits: 16},
+			{Name: "B", Compressed: true, CBits: 10, PBits: 0},
+		},
+	}
+	// A: 8 entries * 16 payload bits = 16 bytes; B: 100 entries * 10
+	// coordinate bits = 1000 bits -> 125 bytes.
+	got := Footprint(f, map[string]int{"A": 8, "B": 100})
+	if got != 16+125 {
+		t.Errorf("footprint = %d, want 141", got)
+	}
+}
+
+func TestFootprintOptimizedSmaller(t *testing.T) {
+	entries := map[string]int{"I": 50, "S": 1000, "N": 1000, "O": 2200, "R": 2200}
+	maxC := map[string]uint64{"S": 999, "N": 20, "R": 999}
+	maxP := map[string]uint64{"I": 40, "S": 1, "N": 2, "O": 1, "R": 1}
+	un := Footprint(Concretise(OIMUnoptimized(), maxC, maxP), entries)
+	opt := Footprint(Concretise(OIMOptimized(), maxC, maxP), entries)
+	if opt >= un {
+		t.Errorf("optimized footprint %d not smaller than unoptimized %d", opt, un)
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	s := OIMOptimized().String()
+	if !strings.Contains(s, "rank-order: [I, S, N, O, R]") {
+		t.Errorf("format rendering:\n%s", s)
+	}
+	if !strings.Contains(s, "R: format: C") {
+		t.Errorf("missing R rank:\n%s", s)
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	m := Mapping{
+		LoopOrder: []string{"I", "N", "S", "O", "R"},
+		Unroll:    map[string]int{"O": Full, "S": 8},
+	}
+	s := m.String()
+	if !strings.Contains(s, "O*") || !strings.Contains(s, "S/8") {
+		t.Errorf("mapping rendering: %s", s)
+	}
+}
+
+func TestRankLookup(t *testing.T) {
+	f := OIMOptimized()
+	if _, ok := f.Rank("R"); !ok {
+		t.Error("R rank missing")
+	}
+	if _, ok := f.Rank("Z"); ok {
+		t.Error("phantom rank found")
+	}
+}

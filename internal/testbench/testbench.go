@@ -1,0 +1,120 @@
+// Package testbench drives simulations: stimulus generators for the
+// workloads of Table 3 and a DMI-style host↔DUT port (§6.2) that reads and
+// updates designated signals in the LI tensor at the end of each cycle, the
+// way RTeAAL Sim connects a frontend server to the design under test.
+package testbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rteaal/internal/kernel"
+)
+
+// Stimulus drives primary inputs before each cycle.
+type Stimulus interface {
+	Apply(cycle int64, eng kernel.Engine)
+}
+
+// RandomStimulus drives every input with seeded pseudo-random values,
+// approximating the toggle activity of a software workload.
+type RandomStimulus struct {
+	rng *rand.Rand
+}
+
+// NewRandomStimulus builds a deterministic random driver.
+func NewRandomStimulus(seed int64) *RandomStimulus {
+	return &RandomStimulus{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Apply pokes all inputs.
+func (s *RandomStimulus) Apply(_ int64, eng kernel.Engine) {
+	n := len(eng.Tensor().InputSlots)
+	for i := 0; i < n; i++ {
+		eng.PokeInput(i, s.rng.Uint64())
+	}
+}
+
+// ConstStimulus holds every input at a fixed value.
+type ConstStimulus struct{ Value uint64 }
+
+// Apply pokes all inputs with the constant.
+func (s ConstStimulus) Apply(_ int64, eng kernel.Engine) {
+	n := len(eng.Tensor().InputSlots)
+	for i := 0; i < n; i++ {
+		eng.PokeInput(i, s.Value)
+	}
+}
+
+// Run drives the engine for n cycles.
+func Run(eng kernel.Engine, stim Stimulus, n int64) {
+	for c := int64(0); c < n; c++ {
+		if stim != nil {
+			stim.Apply(c, eng)
+		}
+		eng.Step()
+	}
+}
+
+// DMI is the Debug-Module-Interface-style host port: it binds named input
+// and output signals of the DUT and exchanges values with them between
+// cycles, as the FESVR↔DTM connection does in the paper.
+type DMI struct {
+	eng  kernel.Engine
+	ins  map[string]int
+	outs map[string]int
+}
+
+// NewDMI indexes the engine's ports by name.
+func NewDMI(eng kernel.Engine) *DMI {
+	t := eng.Tensor()
+	d := &DMI{eng: eng, ins: map[string]int{}, outs: map[string]int{}}
+	for i, name := range t.InputNames {
+		d.ins[name] = i
+	}
+	for i, name := range t.OutputNames {
+		d.outs[name] = i
+	}
+	return d
+}
+
+// Poke writes a named DUT input.
+func (d *DMI) Poke(name string, v uint64) error {
+	i, ok := d.ins[name]
+	if !ok {
+		return fmt.Errorf("testbench: no input named %q", name)
+	}
+	d.eng.PokeInput(i, v)
+	return nil
+}
+
+// Peek reads a named DUT output (sampled at the last settle).
+func (d *DMI) Peek(name string) (uint64, error) {
+	i, ok := d.outs[name]
+	if !ok {
+		return 0, fmt.Errorf("testbench: no output named %q", name)
+	}
+	return d.eng.PeekOutput(i), nil
+}
+
+// Transact runs one host transaction: poke the request signals, step the
+// DUT until the predicate on a named output holds or budget cycles pass,
+// and return the response value.
+func (d *DMI) Transact(pokes map[string]uint64, respSignal string, ready func(uint64) bool, budget int) (uint64, error) {
+	for name, v := range pokes {
+		if err := d.Poke(name, v); err != nil {
+			return 0, err
+		}
+	}
+	for i := 0; i < budget; i++ {
+		d.eng.Step()
+		v, err := d.Peek(respSignal)
+		if err != nil {
+			return 0, err
+		}
+		if ready == nil || ready(v) {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("testbench: transaction on %q timed out after %d cycles", respSignal, budget)
+}

@@ -1,0 +1,135 @@
+// Package vcd writes Value Change Dump waveforms (§6.2): signals are
+// registered with names and widths, sampled once per cycle, and only
+// transitions are recorded, exactly as RTeAAL Sim detects signal changes by
+// comparing each signal's value against the previous cycle.
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Writer emits a VCD file incrementally.
+type Writer struct {
+	w       io.Writer
+	signals []signal
+	last    []uint64
+	started bool
+	time    uint64
+	err     error
+}
+
+type signal struct {
+	name  string
+	width int
+	id    string
+}
+
+// NewWriter begins a VCD document on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// AddSignal registers a signal before the first Sample call.
+func (v *Writer) AddSignal(name string, width int) error {
+	if v.started {
+		return fmt.Errorf("vcd: AddSignal after sampling started")
+	}
+	if width < 1 || width > 64 {
+		return fmt.Errorf("vcd: signal %q width %d out of range", name, width)
+	}
+	v.signals = append(v.signals, signal{name: name, width: width, id: idCode(len(v.signals))})
+	return nil
+}
+
+// idCode generates the compact VCD identifier for the i-th signal.
+func idCode(i int) string {
+	const chars = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~"
+	var b strings.Builder
+	for {
+		b.WriteByte(chars[i%len(chars)])
+		i /= len(chars)
+		if i == 0 {
+			return b.String()
+		}
+	}
+}
+
+func (v *Writer) printf(format string, args ...any) {
+	if v.err != nil {
+		return
+	}
+	_, v.err = fmt.Fprintf(v.w, format, args...)
+}
+
+// writeHeader emits the declaration section.
+func (v *Writer) writeHeader() {
+	v.printf("$date %s $end\n", time.Unix(0, 0).UTC().Format("Mon Jan 2 15:04:05 2006"))
+	v.printf("$version rteaal-sim $end\n")
+	v.printf("$timescale 1ns $end\n")
+	v.printf("$scope module dut $end\n")
+	for _, s := range v.signals {
+		v.printf("$var wire %d %s %s $end\n", s.width, s.id, sanitizeName(s.name))
+	}
+	v.printf("$upscope $end\n$enddefinitions $end\n")
+	v.last = make([]uint64, len(v.signals))
+}
+
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// Sample records the signal values for one cycle; only changed signals are
+// dumped. values must align with the AddSignal order.
+func (v *Writer) Sample(values []uint64) error {
+	if len(values) != len(v.signals) {
+		return fmt.Errorf("vcd: got %d values for %d signals", len(values), len(v.signals))
+	}
+	if !v.started {
+		v.writeHeader()
+		v.started = true
+		v.printf("#0\n$dumpvars\n")
+		for i, s := range v.signals {
+			v.emit(s, values[i])
+			v.last[i] = values[i]
+		}
+		v.printf("$end\n")
+		v.time++
+		return v.err
+	}
+	stamped := false
+	for i, s := range v.signals {
+		if values[i] == v.last[i] {
+			continue
+		}
+		if !stamped {
+			v.printf("#%d\n", v.time)
+			stamped = true
+		}
+		v.emit(s, values[i])
+		v.last[i] = values[i]
+	}
+	v.time++
+	return v.err
+}
+
+func (v *Writer) emit(s signal, val uint64) {
+	if s.width == 1 {
+		v.printf("%d%s\n", val&1, s.id)
+		return
+	}
+	v.printf("b%b %s\n", val, s.id)
+}
+
+// Close finalises the stream (emits a trailing timestamp).
+func (v *Writer) Close() error {
+	if v.started {
+		v.printf("#%d\n", v.time)
+	}
+	return v.err
+}

@@ -1,0 +1,78 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicWaveform(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	if err := w.AddSignal("clk out", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddSignal("bus", 8); err != nil {
+		t.Fatal(err)
+	}
+	samples := [][]uint64{{0, 0xAA}, {1, 0xAA}, {1, 0xAB}, {1, 0xAB}}
+	for _, s := range samples {
+		if err := w.Sample(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$var wire 1 ! clk_out $end",
+		"$var wire 8 \" bus $end",
+		"$dumpvars",
+		"b10101010 \"",
+		"b10101011 \"",
+		"$enddefinitions $end",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The unchanged cycle 3 must not emit bus again: exactly two bus dumps.
+	if n := strings.Count(out, " \"\n"); n != 2 {
+		t.Errorf("bus dumped %d times, want 2", n)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b)
+	if err := w.AddSignal("x", 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if err := w.AddSignal("x", 65); err == nil {
+		t.Error("width 65 accepted")
+	}
+	if err := w.AddSignal("x", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sample([]uint64{1, 2}); err == nil {
+		t.Error("wrong sample arity accepted")
+	}
+	if err := w.Sample([]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddSignal("late", 8); err == nil {
+		t.Error("AddSignal after sampling accepted")
+	}
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,365 @@
+package wire
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		w    int
+		want uint64
+	}{
+		{0, 0}, {1, 1}, {2, 3}, {8, 0xff}, {16, 0xffff},
+		{63, (1 << 63) - 1}, {64, ^uint64(0)}, {100, ^uint64(0)}, {-3, 0},
+	}
+	for _, c := range cases {
+		if got := Mask(c.w); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.w, got, c.want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Errorf("out-of-range op name = %q", Op(200).String())
+	}
+}
+
+func TestArityCoverage(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		a := Arity(op)
+		if a == 0 {
+			t.Errorf("op %v has zero arity", op)
+		}
+		if op == MuxChain && a != VarArity {
+			t.Errorf("muxchain should be variable arity")
+		}
+	}
+}
+
+func TestClassesPartition(t *testing.T) {
+	// Every op is exactly one of reducible, unary, or select.
+	for op := Op(0); op < NumOps; op++ {
+		n := 0
+		if Reducible(op) {
+			n++
+		}
+		if Unary(op) {
+			n++
+		}
+		if Gather(op) {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("op %v is in %d classes, want exactly 1", op, n)
+		}
+	}
+}
+
+// bigRef evaluates the binary arithmetic/compare ops with math/big and masks,
+// providing an independent reference for Eval.
+func bigRef(op Op, a, b uint64, width int) (uint64, bool) {
+	x := new(big.Int).SetUint64(a)
+	y := new(big.Int).SetUint64(b)
+	z := new(big.Int)
+	switch op {
+	case Add:
+		z.Add(x, y)
+	case Sub:
+		z.Sub(x, y)
+		if z.Sign() < 0 { // two's complement wrap within 65 bits, then mask
+			z.Add(z, new(big.Int).Lsh(big.NewInt(1), 65))
+		}
+	case Mul:
+		z.Mul(x, y)
+	case Div:
+		if b == 0 {
+			z.SetInt64(0)
+		} else {
+			z.Div(x, y)
+		}
+	case Rem:
+		if b == 0 {
+			z.SetInt64(0)
+		} else {
+			z.Rem(x, y)
+		}
+	case And:
+		z.And(x, y)
+	case Or:
+		z.Or(x, y)
+	case Xor:
+		z.Xor(x, y)
+	case Lt:
+		z.SetInt64(int64(b2u(x.Cmp(y) < 0)))
+	case Leq:
+		z.SetInt64(int64(b2u(x.Cmp(y) <= 0)))
+	case Gt:
+		z.SetInt64(int64(b2u(x.Cmp(y) > 0)))
+	case Geq:
+		z.SetInt64(int64(b2u(x.Cmp(y) >= 0)))
+	case Eq:
+		z.SetInt64(int64(b2u(x.Cmp(y) == 0)))
+	case Neq:
+		z.SetInt64(int64(b2u(x.Cmp(y) != 0)))
+	default:
+		return 0, false
+	}
+	z.And(z, new(big.Int).SetUint64(Mask(width)))
+	return z.Uint64(), true
+}
+
+func TestEvalAgainstBigIntProperty(t *testing.T) {
+	ops := []Op{Add, Sub, Mul, Div, Rem, And, Or, Xor, Eq, Neq, Lt, Leq, Gt, Geq}
+	f := func(a, b uint64, opSeed uint8, wSeed uint8) bool {
+		op := ops[int(opSeed)%len(ops)]
+		width := 1 + int(wSeed)%64
+		a &= Mask(width)
+		b &= Mask(width)
+		want, ok := bigRef(op, a, b, width)
+		if !ok {
+			return true
+		}
+		got := Eval(op, []uint64{a, b}, Mask(width))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := Mask(16)
+	if got := Eval(Shl, []uint64{0x00ff, 4}, m); got != 0x0ff0 {
+		t.Errorf("shl = %#x", got)
+	}
+	if got := Eval(Shr, []uint64{0x0ff0, 4}, m); got != 0x00ff {
+		t.Errorf("shr = %#x", got)
+	}
+	if got := Eval(Shl, []uint64{1, 100}, m); got != 0 {
+		t.Errorf("shl saturate = %#x", got)
+	}
+	if got := Eval(Shr, []uint64{^uint64(0), 64}, Mask(64)); got != 0 {
+		t.Errorf("shr saturate = %#x", got)
+	}
+}
+
+func TestCatBits(t *testing.T) {
+	// cat(0xAB, 0xCD) with 8-bit lo = 0xABCD
+	if got := Eval(Cat, []uint64{0xAB, 0xCD, 8}, Mask(16)); got != 0xABCD {
+		t.Errorf("cat = %#x", got)
+	}
+	// bits(0xABCD, 11, 4) = 0xBC
+	if got := Eval(Bits, []uint64{0xABCD, 11, 4}, Mask(8)); got != 0xBC {
+		t.Errorf("bits = %#x", got)
+	}
+	// degenerate ranges
+	if got := Eval(Bits, []uint64{0xFF, 2, 5}, Mask(8)); got != 0 {
+		t.Errorf("bits hi<lo = %#x", got)
+	}
+	if got := Eval(Bits, []uint64{0xFF, 70, 65}, Mask(8)); got != 0 {
+		t.Errorf("bits lo>=64 = %#x", got)
+	}
+	if got := Eval(Cat, []uint64{5, 7, 64}, Mask(64)); got != 7 {
+		t.Errorf("cat lw>=64 = %#x", got)
+	}
+}
+
+func TestCatBitsRoundTripProperty(t *testing.T) {
+	f := func(hi, lo uint64, hwSeed, lwSeed uint8) bool {
+		hw := 1 + int(hwSeed)%32
+		lw := 1 + int(lwSeed)%32
+		hi &= Mask(hw)
+		lo &= Mask(lw)
+		cat := Eval(Cat, []uint64{hi, lo, uint64(lw)}, Mask(hw+lw))
+		gotLo := Eval(Bits, []uint64{cat, uint64(lw - 1), 0}, Mask(lw))
+		gotHi := Eval(Bits, []uint64{cat, uint64(hw + lw - 1), uint64(lw)}, Mask(hw))
+		return gotLo == lo && gotHi == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnary(t *testing.T) {
+	m := Mask(8)
+	if got := Eval(Not, []uint64{0x0F}, m); got != 0xF0 {
+		t.Errorf("not = %#x", got)
+	}
+	if got := Eval(Neg, []uint64{1}, m); got != 0xFF {
+		t.Errorf("neg = %#x", got)
+	}
+	if got := Eval(Ident, []uint64{42}, m); got != 42 {
+		t.Errorf("ident = %#x", got)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	one := Mask(1)
+	if got := Eval(AndR, []uint64{0xFF, 0xFF}, one); got != 1 {
+		t.Errorf("andr full = %d", got)
+	}
+	if got := Eval(AndR, []uint64{0xFE, 0xFF}, one); got != 0 {
+		t.Errorf("andr partial = %d", got)
+	}
+	if got := Eval(OrR, []uint64{0}, one); got != 0 {
+		t.Errorf("orr zero = %d", got)
+	}
+	if got := Eval(OrR, []uint64{0x10}, one); got != 1 {
+		t.Errorf("orr nonzero = %d", got)
+	}
+	if got := Eval(XorR, []uint64{0b1011}, one); got != 1 {
+		t.Errorf("xorr odd = %d", got)
+	}
+	if got := Eval(XorR, []uint64{0b1001}, one); got != 0 {
+		t.Errorf("xorr even = %d", got)
+	}
+}
+
+func TestXorRParityProperty(t *testing.T) {
+	f := func(x uint64) bool {
+		want := uint64(0)
+		for v := x; v != 0; v >>= 1 {
+			want ^= v & 1
+		}
+		return Eval(XorR, []uint64{x}, 1) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMux(t *testing.T) {
+	m := Mask(8)
+	if got := Eval(Mux, []uint64{1, 10, 20}, m); got != 10 {
+		t.Errorf("mux taken = %d", got)
+	}
+	if got := Eval(Mux, []uint64{0, 10, 20}, m); got != 20 {
+		t.Errorf("mux not taken = %d", got)
+	}
+	// nonzero selector counts as true (FIRRTL mux takes UInt<1>, but the
+	// fused chains compare against zero)
+	if got := Eval(Mux, []uint64{7, 10, 20}, m); got != 10 {
+		t.Errorf("mux nonzero sel = %d", got)
+	}
+}
+
+func TestMuxChain(t *testing.T) {
+	m := Mask(8)
+	args := []uint64{0, 11, 1, 22, 1, 33, 99}
+	if got := Eval(MuxChain, args, m); got != 22 {
+		t.Errorf("muxchain = %d, want 22", got)
+	}
+	if got := Eval(MuxChain, []uint64{0, 11, 0, 22, 99}, m); got != 99 {
+		t.Errorf("muxchain default = %d, want 99", got)
+	}
+	if got := Eval(MuxChain, []uint64{55}, m); got != 55 {
+		t.Errorf("muxchain only-default = %d, want 55", got)
+	}
+}
+
+// TestMuxChainMatchesNestedMux checks the fused operator against the nested
+// mux expansion it replaces (operator fusion must not change semantics).
+func TestMuxChainMatchesNestedMux(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(5)
+		args := make([]uint64, 2*k+1)
+		for i := range args {
+			args[i] = uint64(rng.Intn(4)) // small so selectors are often 0
+		}
+		m := Mask(8)
+		// nested: mux(s1, v1, mux(s2, v2, ... default))
+		want := args[2*k]
+		for i := k - 1; i >= 0; i-- {
+			want = Eval(Mux, []uint64{args[2*i], args[2*i+1], want}, m)
+		}
+		if got := Eval(MuxChain, args, m); got != want {
+			t.Fatalf("trial %d: muxchain %v = %d, nested mux = %d", trial, args, got, want)
+		}
+	}
+}
+
+func TestReduceStepFoldsLikeDirectEval(t *testing.T) {
+	// Reducing a 2-operand reducible op via ReduceStep must equal Eval.
+	rng := rand.New(rand.NewSource(3))
+	ops := []Op{Add, Sub, Mul, And, Or, Xor, Lt, Cat, Bits, Shl}
+	for trial := 0; trial < 500; trial++ {
+		op := ops[rng.Intn(len(ops))]
+		ar := Arity(op)
+		args := make([]uint64, ar)
+		for i := range args {
+			args[i] = rng.Uint64() & Mask(16)
+		}
+		m := Mask(16)
+		want := Eval(op, args, m)
+		// Pairwise left fold, as the kernels do. For arity 3 the fold is
+		// not the same as a 3-ary eval in general, so only check arity 2.
+		if ar != 2 {
+			continue
+		}
+		got := ReduceStep(op, 0, args[0], 0, m)
+		got = ReduceStep(op, got, args[1], 1, m)
+		if got != want {
+			t.Fatalf("op %v args %v: fold=%d direct=%d", op, args, got, want)
+		}
+	}
+}
+
+func TestMapStepUnaryOnly(t *testing.T) {
+	m := Mask(8)
+	if got := MapStep(Not, 0x0F, m); got != 0xF0 {
+		t.Errorf("MapStep(not) = %#x", got)
+	}
+	if got := MapStep(Add, 0x0F, m); got != 0x0F {
+		t.Errorf("MapStep(add) should pass through, got %#x", got)
+	}
+}
+
+func TestPopulateGather(t *testing.T) {
+	m := Mask(8)
+	if got := PopulateGather(Mux, []uint64{1, 5, 9}, m); got != 5 {
+		t.Errorf("populate mux = %d", got)
+	}
+	if got := PopulateGather(Mux, []uint64{0, 5, 9}, m); got != 9 {
+		t.Errorf("populate mux else = %d", got)
+	}
+	if got := PopulateGather(MuxChain, []uint64{0, 5, 1, 6, 9}, m); got != 6 {
+		t.Errorf("populate muxchain = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("PopulateGather on Add should panic")
+		}
+	}()
+	PopulateGather(Add, []uint64{1, 2}, m)
+}
+
+func TestEvalMasksResult(t *testing.T) {
+	// Result of every op must honour the output mask.
+	rng := rand.New(rand.NewSource(11))
+	for op := Op(0); op < NumOps; op++ {
+		ar := Arity(op)
+		if ar == VarArity {
+			ar = 5
+		}
+		for trial := 0; trial < 50; trial++ {
+			args := make([]uint64, ar)
+			for i := range args {
+				args[i] = rng.Uint64() & Mask(10)
+			}
+			w := 1 + rng.Intn(8)
+			if got := Eval(op, args, Mask(w)); got&^Mask(w) != 0 {
+				t.Fatalf("op %v width %d: result %#x exceeds mask", op, w, got)
+			}
+		}
+	}
+}
