@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"rteaal/internal/baseline"
@@ -19,6 +21,7 @@ import (
 	"rteaal/internal/kernel"
 	"rteaal/internal/oim"
 	"rteaal/internal/repcut"
+	"rteaal/sim"
 )
 
 // benchCfg trades fidelity for time; cmd/rteaal-bench defaults to scale 8.
@@ -216,3 +219,106 @@ func BenchmarkRepCutThreads1(b *testing.B) { benchRepCut(b, 1) }
 func BenchmarkRepCutThreads2(b *testing.B) { benchRepCut(b, 2) }
 func BenchmarkRepCutThreads4(b *testing.B) { benchRepCut(b, 4) }
 func BenchmarkRepCutThreads8(b *testing.B) { benchRepCut(b, 8) }
+
+// Public-API serving benchmarks: the compile-once / simulate-many shapes of
+// rteaal/sim on the shared benchmark circuit.
+var (
+	simDesignOnce sync.Once
+	simDesign     *sim.Design
+	simDesignErr  error
+)
+
+func benchSimDesign(b *testing.B) *sim.Design {
+	b.Helper()
+	simDesignOnce.Do(func() {
+		var g *dfg.Graph
+		g, _, simDesignErr = bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: benchCfg.Scale})
+		if simDesignErr != nil {
+			return
+		}
+		simDesign, simDesignErr = sim.CompileGraph(g, sim.WithKernel(sim.PSU))
+	})
+	if simDesignErr != nil {
+		b.Fatal(simDesignErr)
+	}
+	return simDesign
+}
+
+func BenchmarkSimSessionStep(b *testing.B) {
+	d := benchSimDesign(b)
+	s := d.NewSession()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < len(d.Inputs()); i++ {
+		s.PokeIndex(i, rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSimBatchStep reports per-lane-cycle cost: wall clock is divided
+// across lanes, so a value below BenchmarkSimSessionStep's means the SoA
+// batch amortises control flow.
+func benchSimBatchStep(b *testing.B, lanes int) {
+	d := benchSimDesign(b)
+	bt, err := d.NewBatch(lanes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for lane := 0; lane < lanes; lane++ {
+		for i := 0; i < len(d.Inputs()); i++ {
+			bt.PokeIndex(lane, i, rng.Uint64())
+		}
+	}
+	b.ReportMetric(float64(lanes), "lanes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Step()
+	}
+}
+
+func BenchmarkSimBatchStep1(b *testing.B)  { benchSimBatchStep(b, 1) }
+func BenchmarkSimBatchStep4(b *testing.B)  { benchSimBatchStep(b, 4) }
+func BenchmarkSimBatchStep16(b *testing.B) { benchSimBatchStep(b, 16) }
+func BenchmarkSimBatchStep64(b *testing.B) { benchSimBatchStep(b, 64) }
+
+func BenchmarkSimPoolCheckout(b *testing.B) {
+	d := benchSimDesign(b)
+	p, err := sim.NewPool(d, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := p.Get(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Put(s)
+	}
+}
+
+// BenchmarkSimPoolParallel is the serving shape: every goroutine of the -cpu
+// setting checks sessions out and steps them.
+func BenchmarkSimPoolParallel(b *testing.B) {
+	d := benchSimDesign(b)
+	p, err := sim.NewPool(d, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			err := p.Do(ctx, func(s *sim.Session) error { return s.Step() })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

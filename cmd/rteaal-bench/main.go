@@ -2,15 +2,26 @@
 //
 //	rteaal-bench all
 //	rteaal-bench -scale 8 table5 figure16 figure20
+//
+// The extra "throughput" experiment (not from the paper) measures the
+// serving path of the public sim package: single-session stepping versus
+// SoA multi-lane batches versus a session pool drained by parallel workers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"rteaal/internal/bench"
+	"rteaal/internal/gen"
+	"rteaal/sim"
 )
 
 func main() {
@@ -19,21 +30,22 @@ func main() {
 	c := bench.Config{Scale: *scale}
 
 	experiments := map[string]func() error{
-		"table1":   func() error { return bench.Table1(os.Stdout) },
-		"table3":   func() error { bench.Table3(os.Stdout); return nil },
-		"figure7":  func() error { return bench.Figure7(os.Stdout, c) },
-		"figure8":  func() error { return bench.Figure8(os.Stdout, c) },
-		"table4":   func() error { return bench.Table4(os.Stdout, c) },
-		"table5":   func() error { return bench.Table5(os.Stdout, c) },
-		"table6":   func() error { return bench.Table6(os.Stdout, c) },
-		"figure15": func() error { return bench.Figure15(os.Stdout, c) },
-		"figure16": func() error { return bench.Figure16(os.Stdout, c) },
-		"figure17": func() error { return bench.Figure17(os.Stdout, c) },
-		"figure18": func() error { return bench.Figure18(os.Stdout, c) },
-		"figure19": func() error { return bench.Figure19(os.Stdout, c) },
-		"figure20": func() error { return bench.Figure20(os.Stdout, c) },
-		"figure21": func() error { return bench.Figure21(os.Stdout, c) },
-		"table7":   func() error { return bench.Table7(os.Stdout, c) },
+		"table1":     func() error { return bench.Table1(os.Stdout) },
+		"table3":     func() error { bench.Table3(os.Stdout); return nil },
+		"figure7":    func() error { return bench.Figure7(os.Stdout, c) },
+		"figure8":    func() error { return bench.Figure8(os.Stdout, c) },
+		"table4":     func() error { return bench.Table4(os.Stdout, c) },
+		"table5":     func() error { return bench.Table5(os.Stdout, c) },
+		"table6":     func() error { return bench.Table6(os.Stdout, c) },
+		"figure15":   func() error { return bench.Figure15(os.Stdout, c) },
+		"figure16":   func() error { return bench.Figure16(os.Stdout, c) },
+		"figure17":   func() error { return bench.Figure17(os.Stdout, c) },
+		"figure18":   func() error { return bench.Figure18(os.Stdout, c) },
+		"figure19":   func() error { return bench.Figure19(os.Stdout, c) },
+		"figure20":   func() error { return bench.Figure20(os.Stdout, c) },
+		"figure21":   func() error { return bench.Figure21(os.Stdout, c) },
+		"table7":     func() error { return bench.Table7(os.Stdout, c) },
+		"throughput": func() error { return throughput(c) },
 	}
 
 	args := flag.Args()
@@ -50,13 +62,104 @@ func main() {
 		}
 		f, ok := experiments[name]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, all)", name))
 		}
 		if err := f(); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
+}
+
+// throughput measures cycles/second of the public API's three serving
+// shapes on one compiled design: a lone session, SoA batches of widening
+// lane counts, and a pool drained by GOMAXPROCS workers.
+func throughput(c bench.Config) error {
+	g, _, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: c.Scale})
+	if err != nil {
+		return err
+	}
+	d, err := sim.CompileGraph(g, sim.WithKernel(sim.PSU))
+	if err != nil {
+		return err
+	}
+	st := d.Stats()
+	fmt.Printf("throughput: design %s, %d ops, kernel %s (compile once, simulate many)\n",
+		st.Design, st.Ops, d.Kernel())
+	const cycles = 2000
+	nIn := len(d.Inputs())
+
+	// One session, random stimulus every cycle.
+	s := d.NewSession()
+	rng := rand.New(rand.NewSource(1))
+	start := time.Now()
+	for i := 0; i < cycles; i++ {
+		for j := 0; j < nIn; j++ {
+			s.PokeIndex(j, rng.Uint64())
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	el := time.Since(start)
+	base := float64(cycles) / el.Seconds()
+	fmt.Printf("  %-22s %12.0f cycles/s\n", "session x1", base)
+
+	// Batches: lock-step lanes multiply delivered simulation cycles.
+	for _, lanes := range []int{4, 16, 64} {
+		b, err := d.NewBatch(lanes)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(1))
+		start := time.Now()
+		for i := 0; i < cycles; i++ {
+			for l := 0; l < lanes; l++ {
+				for j := 0; j < nIn; j++ {
+					b.PokeIndex(l, j, rng.Uint64())
+				}
+			}
+			b.Step()
+		}
+		el := time.Since(start)
+		lane := float64(cycles*lanes) / el.Seconds()
+		fmt.Printf("  %-22s %12.0f lane-cycles/s  (%.1fx one session)\n",
+			fmt.Sprintf("batch x%d", lanes), lane, lane/base)
+	}
+
+	// Pool: independent sessions on all cores.
+	workers := runtime.GOMAXPROCS(0)
+	pool, err := sim.NewPool(d, workers)
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	start = time.Now()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Do(context.Background(), func(s *sim.Session) error {
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < cycles; i++ {
+					for j := 0; j < nIn; j++ {
+						s.PokeIndex(j, rng.Uint64())
+					}
+					if err := s.Step(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	el = time.Since(start)
+	agg := float64(cycles*workers) / el.Seconds()
+	fmt.Printf("  %-22s %12.0f session-cycles/s  (%.1fx one session, %d workers)\n",
+		fmt.Sprintf("pool x%d", workers), agg, agg/base, workers)
+	return nil
 }
 
 func fatal(err error) {

@@ -2,6 +2,10 @@
 // evaluation and emits them as FIRRTL text.
 //
 //	rteaal-gen -family rocket -cores 4 -scale 16 > rocket4.fir
+//
+// With -check the emitted FIRRTL is additionally compiled back through the
+// public sim package, verifying the text round-trips through the full
+// pipeline, and the compiled design's statistics are printed to stderr.
 package main
 
 import (
@@ -11,6 +15,7 @@ import (
 
 	"rteaal/internal/firrtl"
 	"rteaal/internal/gen"
+	"rteaal/sim"
 )
 
 func main() {
@@ -18,6 +23,7 @@ func main() {
 	cores := flag.Int("cores", 1, "core count (rocket/small) or grid size (gemmini)")
 	scale := flag.Int("scale", 1, "size divisor (1 = calibrated full size)")
 	stats := flag.Bool("stats", false, "print design statistics instead of FIRRTL")
+	check := flag.Bool("check", false, "compile the emitted FIRRTL through rteaal/sim and report")
 	flag.Parse()
 
 	var fam gen.Family
@@ -47,6 +53,15 @@ func main() {
 	src, err := firrtl.Emit(g)
 	if err != nil {
 		fatal(err)
+	}
+	if *check {
+		d, err := sim.Compile(src)
+		if err != nil {
+			fatal(fmt.Errorf("emitted FIRRTL does not recompile: %w", err))
+		}
+		st := d.Stats()
+		fmt.Fprintf(os.Stderr, "check ok: %s recompiles to %d ops in %d layers (%d registers)\n",
+			st.Design, st.Ops, st.Layers, st.Registers)
 	}
 	fmt.Print(src)
 }

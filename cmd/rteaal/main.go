@@ -4,17 +4,17 @@
 //	rteaal -kernel PSU -cycles 1000 -vcd out.vcd design.fir
 //
 // With -dump-oim the generated tensor is written as JSON instead of
-// simulating, matching the paper's compiler output.
+// simulating, matching the paper's compiler output; -list-kernels prints
+// the seven kernel configurations in unrolling order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
-	"rteaal/internal/core"
-	"rteaal/internal/kernel"
-	"rteaal/internal/testbench"
+	"rteaal/sim"
 )
 
 func main() {
@@ -30,12 +30,20 @@ func run() error {
 	seed := flag.Int64("seed", 1, "random stimulus seed")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform to this file")
 	dumpOIM := flag.Bool("dump-oim", false, "write the OIM tensor as JSON to stdout and exit")
+	listKernels := flag.Bool("list-kernels", false, "list the kernel configurations and exit")
 	flag.Parse()
+
+	if *listKernels {
+		for _, k := range sim.Kernels() {
+			fmt.Println(k)
+		}
+		return nil
+	}
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: rteaal [flags] design.fir")
 	}
 
-	kind, err := kernel.ParseKind(*kernelName)
+	kind, err := sim.ParseKernel(*kernelName)
 	if err != nil {
 		return err
 	}
@@ -43,50 +51,55 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sim, err := core.CompileFIRRTL(string(src), core.Options{Kernel: kind, Waveform: *vcdPath != ""})
+	opts := []sim.Option{sim.WithKernel(kind)}
+	if *vcdPath != "" {
+		opts = append(opts, sim.WithWaveform())
+	}
+	design, err := sim.Compile(string(src), opts...)
 	if err != nil {
 		return err
 	}
 
-	t := sim.Tensor
+	st := design.Stats()
 	fmt.Printf("design %s: %d ops in %d layers, %d slots, %d registers, OIM density %.2e\n",
-		t.Design, t.TotalOps(), t.NumLayers(), t.NumSlots, len(t.RegSlots), t.Density())
+		st.Design, st.Ops, st.Layers, st.Slots, st.Registers, st.Density)
 	fmt.Printf("identity ops before elision: %d (%.1fx effectual)\n",
-		t.IdentityOps, float64(t.IdentityOps)/float64(max64(t.EffectualOps, 1)))
+		st.IdentityOps, float64(st.IdentityOps)/float64(max(st.EffectualOps, 1)))
 
 	if *dumpOIM {
-		return t.WriteJSON(os.Stdout)
+		return design.WriteOIM(os.Stdout)
 	}
 
+	s := design.NewSession()
 	if *vcdPath != "" {
 		f, err := os.Create(*vcdPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := sim.EnableWaveform(f); err != nil {
+		if err := s.EnableWaveform(f); err != nil {
 			return err
 		}
-		defer sim.CloseWaveform()
+		defer s.CloseWaveform()
 	}
 
-	stim := testbench.NewRandomStimulus(*seed)
+	rng := rand.New(rand.NewSource(*seed))
+	nIn := len(design.Inputs())
 	for c := int64(0); c < *cycles; c++ {
-		stim.Apply(c, sim.Engine)
-		if err := sim.Step(); err != nil {
+		for i := 0; i < nIn; i++ {
+			s.PokeIndex(i, rng.Uint64())
+		}
+		if err := s.Step(); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("simulated %d cycles with kernel %s\n", sim.Cycle(), kind)
-	for i, name := range t.OutputNames {
-		fmt.Printf("  %-24s = %d\n", name, sim.Engine.PeekOutput(i))
+	fmt.Printf("simulated %d cycles with kernel %s\n", s.Cycle(), kind)
+	for _, name := range design.Outputs() {
+		v, err := s.Peek(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-24s = %d\n", name, v)
 	}
 	return nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

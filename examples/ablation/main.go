@@ -1,6 +1,7 @@
 // Ablation: run all seven kernel configurations of §5.2 on the same design
 // and print real per-cycle wall-clock throughput — a native-Go miniature of
-// Figure 16's unrolling sweet-spot study.
+// Figure 16's unrolling sweet-spot study, driven through the public sim
+// package.
 package main
 
 import (
@@ -11,34 +12,41 @@ import (
 
 	"rteaal/internal/bench"
 	"rteaal/internal/gen"
-	"rteaal/internal/kernel"
+	"rteaal/sim"
 )
 
 func main() {
-	_, tensor, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: 16})
+	g, _, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("design r1/16: %d ops in %d layers\n\n", tensor.TotalOps(), tensor.NumLayers())
-	fmt.Printf("%-8s %14s %14s\n", "kernel", "ns/cycle", "Mops/s")
 
 	const cycles = 400
-	for _, kind := range kernel.Kinds() {
-		eng, err := kernel.New(tensor, kernel.Config{Kind: kind})
+	first := true
+	for _, kind := range sim.Kernels() {
+		design, err := sim.CompileGraph(g, sim.WithKernel(kind))
 		if err != nil {
 			log.Fatal(err)
 		}
-		rng := rand.New(rand.NewSource(3))
-		for i := range tensor.InputSlots {
-			eng.PokeInput(i, rng.Uint64())
+		st := design.Stats()
+		if first {
+			fmt.Printf("design r1/16: %d ops in %d layers\n\n", st.Ops, st.Layers)
+			fmt.Printf("%-8s %14s %14s\n", "kernel", "ns/cycle", "Mops/s")
+			first = false
 		}
-		eng.Step() // warm
+		s := design.NewSession()
+		rng := rand.New(rand.NewSource(3))
+		nIn := len(design.Inputs())
+		for i := 0; i < nIn; i++ {
+			s.PokeIndex(i, rng.Uint64())
+		}
+		s.Step() // warm
 		start := time.Now()
 		for c := 0; c < cycles; c++ {
-			eng.Step()
+			s.Step()
 		}
 		perCycle := time.Since(start) / cycles
-		mops := float64(tensor.TotalOps()) / perCycle.Seconds() / 1e6
+		mops := float64(st.Ops) / perCycle.Seconds() / 1e6
 		fmt.Printf("%-8s %14v %14.0f\n", kind, perCycle, mops)
 	}
 	fmt.Println("\nthe rolled/unrolled sweet spot the paper reports for its C++")

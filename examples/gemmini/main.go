@@ -1,16 +1,15 @@
 // Gemmini-style systolic array: build an output-stationary MAC mesh as a
-// dataflow graph with the library API, compile it to the tensor kernel, and
-// stream a real matrix multiplication through it.
+// dataflow graph with the library API, compile it once with the public sim
+// package, and stream a real matrix multiplication through a session.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"rteaal/internal/core"
 	"rteaal/internal/dfg"
-	"rteaal/internal/kernel"
 	"rteaal/internal/wire"
+	"rteaal/sim"
 )
 
 const dim = 4
@@ -57,10 +56,11 @@ func buildMesh() *dfg.Graph {
 }
 
 func main() {
-	sim, err := core.CompileGraph(buildMesh(), core.Options{Kernel: kernel.PSU})
+	design, err := sim.CompileGraph(buildMesh(), sim.WithKernel(sim.PSU))
 	if err != nil {
 		log.Fatal(err)
 	}
+	s := design.NewSession()
 
 	a := [dim][dim]uint64{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}, {13, 14, 15, 16}}
 	b := [dim][dim]uint64{{1, 0, 0, 1}, {0, 2, 1, 0}, {3, 0, 2, 0}, {0, 1, 0, 3}}
@@ -75,10 +75,10 @@ func main() {
 				av = a[i][k]
 				bv = b[k][i]
 			}
-			sim.PokeByName(fmt.Sprintf("a_%d", i), av)
-			sim.PokeByName(fmt.Sprintf("b_%d", i), bv)
+			s.Poke(fmt.Sprintf("a_%d", i), av)
+			s.Poke(fmt.Sprintf("b_%d", i), bv)
 		}
-		if err := sim.Step(); err != nil {
+		if err := s.Step(); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -86,7 +86,7 @@ func main() {
 	fmt.Println("C = A x B streamed through the mesh:")
 	for i := 0; i < dim; i++ {
 		for j := 0; j < dim; j++ {
-			got := sim.PeekReg(regIndex(i, j))
+			got := s.PeekReg(regIndex(i, j))
 			var want uint64
 			for k := 0; k < dim; k++ {
 				want += a[i][k] * b[k][j]

@@ -1,14 +1,13 @@
 // Quickstart: compile a small FIRRTL design through the full RTeAAL Sim
 // pipeline (frontend → dataflow graph → OIM tensor → kernel) and simulate
-// it cycle by cycle.
+// it cycle by cycle with the public sim package.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"rteaal/internal/core"
-	"rteaal/internal/kernel"
+	"rteaal/sim"
 )
 
 const src = `
@@ -26,21 +25,23 @@ circuit Fibonacci :
 `
 
 func main() {
-	// PSU is the paper's scalable sweet-spot kernel; any of RU..TI works
-	// and produces identical values.
-	sim, err := core.CompileFIRRTL(src, core.Options{Kernel: kernel.PSU})
+	// PSU is the paper's scalable sweet-spot kernel (and the default); any
+	// of RU..TI works and produces identical values.
+	design, err := sim.Compile(src, sim.WithKernel(sim.PSU))
 	if err != nil {
 		log.Fatal(err)
 	}
-	t := sim.Tensor
+	st := design.Stats()
 	fmt.Printf("compiled %q: %d ops in %d layers, OIM density %.2e\n",
-		t.Design, t.TotalOps(), t.NumLayers(), t.Density())
+		st.Design, st.Ops, st.Layers, st.Density)
 
+	// The design is compiled once; sessions are cheap simulation instances.
+	s := design.NewSession()
 	for i := 0; i < 10; i++ {
-		if err := sim.Step(); err != nil {
+		if err := s.Step(); err != nil {
 			log.Fatal(err)
 		}
-		v, _ := sim.PeekByName("fib")
-		fmt.Printf("cycle %2d: fib = %d\n", sim.Cycle(), v)
+		v, _ := s.Peek("fib")
+		fmt.Printf("cycle %2d: fib = %d\n", s.Cycle(), v)
 	}
 }

@@ -1,6 +1,7 @@
 // RepCut: partition a synthesised SoC across goroutines with
 // replication-aided cuts (Cascade 2) and compare wall-clock throughput and
-// state equivalence against single-threaded simulation.
+// state equivalence against single-threaded simulation through the public
+// sim package.
 package main
 
 import (
@@ -13,29 +14,34 @@ import (
 	"rteaal/internal/gen"
 	"rteaal/internal/kernel"
 	"rteaal/internal/repcut"
+	"rteaal/sim"
 )
 
 const cycles = 200
 
 func main() {
-	_, tensor, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: 16})
+	g, tensor, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
-	nIn := len(tensor.InputSlots)
-	fmt.Printf("design r1/16: %d ops, %d registers\n", tensor.TotalOps(), len(tensor.RegSlots))
+	design, err := sim.CompileGraph(g, sim.WithKernel(sim.PSU))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := design.Stats()
+	nIn := st.Inputs
+	fmt.Printf("design r1/16: %d ops, %d registers\n", st.Ops, st.Registers)
 
-	ref, err := kernel.New(tensor, kernel.Config{Kind: kernel.PSU})
-	if err != nil {
-		log.Fatal(err)
-	}
+	ref := design.NewSession()
 	stim := rand.New(rand.NewSource(7))
 	start := time.Now()
 	for c := 0; c < cycles; c++ {
 		for i := 0; i < nIn; i++ {
-			ref.PokeInput(i, stim.Uint64())
+			ref.PokeIndex(i, stim.Uint64())
 		}
-		ref.Step()
+		if err := ref.Step(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("sequential PSU: %8v for %d cycles\n", time.Since(start), cycles)
 
@@ -54,7 +60,7 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("repcut %d parts: %8v, replication %.2fx, state match: %v\n",
-			parts, elapsed, pc.ReplicationFactor, equal(ref.RegSnapshot(), pc.RegSnapshot()))
+			parts, elapsed, pc.ReplicationFactor, equal(ref.Registers(), pc.RegSnapshot()))
 	}
 }
 

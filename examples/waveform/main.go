@@ -7,8 +7,7 @@ import (
 	"log"
 	"os"
 
-	"rteaal/internal/core"
-	"rteaal/internal/kernel"
+	"rteaal/sim"
 )
 
 const src = `
@@ -25,28 +24,31 @@ circuit Blinker :
 `
 
 func main() {
-	sim, err := core.CompileFIRRTL(src, core.Options{Kernel: kernel.TI, Waveform: true})
+	// WithWaveform keeps every register's coordinate so the capture below
+	// can bind it.
+	design, err := sim.Compile(src, sim.WithKernel(sim.TI), sim.WithWaveform())
 	if err != nil {
 		log.Fatal(err)
 	}
+	s := design.NewSession()
 	f, err := os.Create("blinker.vcd")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := sim.EnableWaveform(f); err != nil {
+	if err := s.EnableWaveform(f); err != nil {
 		log.Fatal(err)
 	}
 
-	sim.PokeByName("enable", 1)
-	if err := sim.Run(40); err != nil {
+	s.Poke("enable", 1)
+	if err := s.Run(40); err != nil {
 		log.Fatal(err)
 	}
-	sim.PokeByName("enable", 0) // hold: no transitions recorded
-	if err := sim.Run(8); err != nil {
+	s.Poke("enable", 0) // hold: no transitions recorded
+	if err := s.Run(8); err != nil {
 		log.Fatal(err)
 	}
-	if err := sim.CloseWaveform(); err != nil {
+	if err := s.CloseWaveform(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote blinker.vcd with 48 cycles of activity")

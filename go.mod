@@ -1,0 +1,3 @@
+module rteaal
+
+go 1.22

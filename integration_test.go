@@ -10,7 +10,6 @@ import (
 	"testing"
 
 	"rteaal/internal/baseline"
-	"rteaal/internal/core"
 	"rteaal/internal/dfg"
 	"rteaal/internal/einsum"
 	"rteaal/internal/firrtl"
@@ -18,6 +17,7 @@ import (
 	"rteaal/internal/kernel"
 	"rteaal/internal/oim"
 	"rteaal/internal/repcut"
+	"rteaal/sim"
 )
 
 // TestFullPipelineOnGeneratedDesign round-trips a synthesised design
@@ -181,9 +181,9 @@ func TestFullPipelineOnGeneratedDesign(t *testing.T) {
 	}
 }
 
-// TestCoreAPIAcrossKernels drives the public facade over a handwritten
-// design and checks kernel-independence of results.
-func TestCoreAPIAcrossKernels(t *testing.T) {
+// TestPublicAPIAcrossKernels drives the public sim facade over a
+// handwritten design and checks kernel-independence of results.
+func TestPublicAPIAcrossKernels(t *testing.T) {
 	const src = `
 circuit Gray :
   module Gray :
@@ -194,17 +194,18 @@ circuit Gray :
     gray <= xor(c, shr(c, 1))
 `
 	var want []uint64
-	for _, kind := range kernel.Kinds() {
-		sim, err := core.CompileFIRRTL(src, core.Options{Kernel: kind})
+	for _, kind := range sim.Kernels() {
+		d, err := sim.Compile(src, sim.WithKernel(kind))
 		if err != nil {
 			t.Fatal(err)
 		}
+		s := d.NewSession()
 		var got []uint64
 		for i := 0; i < 20; i++ {
-			if err := sim.Step(); err != nil {
+			if err := s.Step(); err != nil {
 				t.Fatal(err)
 			}
-			v, err := sim.PeekByName("gray")
+			v, err := s.Peek("gray")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -223,7 +224,7 @@ circuit Gray :
 		}
 		for i := range want {
 			if got[i] != want[i] {
-				t.Fatalf("%v diverges from %v at cycle %d", kind, kernel.RU, i)
+				t.Fatalf("%v diverges from %v at cycle %d", kind, sim.RU, i)
 			}
 		}
 	}

@@ -112,7 +112,7 @@ func TestMax2Property(t *testing.T) {
 				all = append(all, v)
 			}
 		}
-		if want := minInt(2, len(all)); len(kept) != want {
+		if want := min(2, len(all)); len(kept) != want {
 			t.Fatalf("trial %d: kept %d of %d", trial, len(kept), len(all))
 		}
 		for _, k := range kept {
@@ -127,13 +127,6 @@ func TestMax2Property(t *testing.T) {
 			}
 		}
 	}
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func TestCascadeNotation(t *testing.T) {

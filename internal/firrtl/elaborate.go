@@ -490,17 +490,3 @@ func (e *elaborator) evalPrim(x *PrimExpr) (dfg.NodeID, error) {
 	}
 	return dfg.Invalid, e.errf(x.Line, "unsupported primitive %q", x.Op)
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -188,11 +188,11 @@ func (e *emitter) opExpr(id dfg.NodeID) (string, error) {
 	case wire.Rem:
 		return bin("rem", func(a, b int) int { return min(a, b) }), nil
 	case wire.And:
-		return bin("and", max), nil
+		return bin("and", func(a, b int) int { return max(a, b) }), nil
 	case wire.Or:
-		return bin("or", max), nil
+		return bin("or", func(a, b int) int { return max(a, b) }), nil
 	case wire.Xor:
-		return bin("xor", max), nil
+		return bin("xor", func(a, b int) int { return max(a, b) }), nil
 	case wire.Eq, wire.Neq, wire.Lt, wire.Leq, wire.Gt, wire.Geq:
 		ops := map[wire.Op]string{wire.Eq: "eq", wire.Neq: "neq", wire.Lt: "lt",
 			wire.Leq: "leq", wire.Gt: "gt", wire.Geq: "geq"}

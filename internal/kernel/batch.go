@@ -1,0 +1,250 @@
+package kernel
+
+import (
+	"fmt"
+
+	"rteaal/internal/oim"
+	"rteaal/internal/wire"
+)
+
+// Batch simulates n independent input-vectors of one design lock-step
+// through a single settle/commit schedule. The layer-input tensor is held in
+// structure-of-arrays layout — one lane-vector per LI slot — so each tape
+// operation runs as a tight loop over lanes touching two or three contiguous
+// slices, the memory shape a vectorising compiler (or a future SIMD/GPU
+// backend) wants. The schedule is the fully unrolled TI tape: levelization
+// guarantees in-layer writes never feed in-layer reads, so results go
+// straight to their LI coordinates in every lane.
+type Batch struct {
+	t     *oim.Tensor
+	tape  []tapeOp
+	lanes int
+	li    [][]uint64 // li[slot] is the slot's lane-vector (SoA)
+	buf   []uint64   // backing store for li, NumSlots*lanes contiguous
+	next  []uint64   // staged register commit, regs*lanes
+	outs  []uint64   // sampled outputs, outputs*lanes
+}
+
+// NewBatch builds an n-lane batch engine over t, lowering the tape itself.
+// Callers holding a [Program] should prefer [Program.InstantiateBatch],
+// which caches the tape across batches.
+func NewBatch(t *oim.Tensor, lanes int) (*Batch, error) {
+	if t.NumSlots == 0 {
+		return nil, fmt.Errorf("kernel: empty design")
+	}
+	tape, _ := buildTape(t)
+	return newBatch(t, tape, lanes)
+}
+
+func newBatch(t *oim.Tensor, tape []tapeOp, lanes int) (*Batch, error) {
+	if lanes < 1 {
+		return nil, fmt.Errorf("kernel: batch needs at least 1 lane, got %d", lanes)
+	}
+	b := &Batch{
+		t:     t,
+		tape:  tape,
+		lanes: lanes,
+		buf:   make([]uint64, t.NumSlots*lanes),
+		li:    make([][]uint64, t.NumSlots),
+		next:  make([]uint64, len(t.RegSlots)*lanes),
+		outs:  make([]uint64, len(t.OutputSlots)*lanes),
+	}
+	for s := range b.li {
+		b.li[s] = b.buf[s*lanes : (s+1)*lanes : (s+1)*lanes]
+	}
+	b.Reset()
+	return b, nil
+}
+
+// Lanes reports the batch width.
+func (b *Batch) Lanes() int { return b.lanes }
+
+// Tensor returns the underlying OIM.
+func (b *Batch) Tensor() *oim.Tensor { return b.t }
+
+// Reset restores every lane to the initial state.
+func (b *Batch) Reset() {
+	for i := range b.buf {
+		b.buf[i] = 0
+	}
+	for _, c := range b.t.ConstSlots {
+		fill(b.li[c.Slot], c.Value)
+	}
+	for _, r := range b.t.RegSlots {
+		fill(b.li[r.Q], r.Init)
+	}
+	for i := range b.outs {
+		b.outs[i] = 0
+	}
+}
+
+func fill(v []uint64, x uint64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// PokeInput drives the idx-th primary input of one lane.
+func (b *Batch) PokeInput(lane, idx int, v uint64) {
+	slot := b.t.InputSlots[idx]
+	b.li[slot][lane] = v & b.t.Masks[slot]
+}
+
+// PeekOutput reads the idx-th primary output of one lane as sampled at the
+// most recent Settle.
+func (b *Batch) PeekOutput(lane, idx int) uint64 { return b.outs[idx*b.lanes+lane] }
+
+// PeekSlot reads any LI coordinate of one lane.
+func (b *Batch) PeekSlot(lane int, slot int32) uint64 { return b.li[slot][lane] }
+
+// RegSnapshot copies one lane's committed register values.
+func (b *Batch) RegSnapshot(lane int) []uint64 {
+	out := make([]uint64, len(b.t.RegSlots))
+	for i, r := range b.t.RegSlots {
+		out[i] = b.li[r.Q][lane]
+	}
+	return out
+}
+
+// Settle performs one combinational evaluation of every lane and samples the
+// primary outputs.
+func (b *Batch) Settle() {
+	li := b.li
+	for k := range b.tape {
+		e := &b.tape[k]
+		out := li[e.out]
+		switch e.op {
+		case wire.Add:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = (x[l] + y[l]) & e.mask
+			}
+		case wire.Sub:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = (x[l] - y[l]) & e.mask
+			}
+		case wire.Mul:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = (x[l] * y[l]) & e.mask
+			}
+		case wire.And:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = x[l] & y[l] & e.mask
+			}
+		case wire.Or:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = (x[l] | y[l]) & e.mask
+			}
+		case wire.Xor:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = (x[l] ^ y[l]) & e.mask
+			}
+		case wire.Eq, wire.AndR:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = b2u(x[l] == y[l])
+			}
+		case wire.Neq:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = b2u(x[l] != y[l])
+			}
+		case wire.Lt:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = b2u(x[l] < y[l])
+			}
+		case wire.Leq:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = b2u(x[l] <= y[l])
+			}
+		case wire.Gt:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = b2u(x[l] > y[l])
+			}
+		case wire.Geq:
+			x, y := li[e.a[0]], li[e.a[1]]
+			for l := range out {
+				out[l] = b2u(x[l] >= y[l])
+			}
+		case wire.Not:
+			x := li[e.a[0]]
+			for l := range out {
+				out[l] = ^x[l] & e.mask
+			}
+		case wire.Neg:
+			x := li[e.a[0]]
+			for l := range out {
+				out[l] = (-x[l]) & e.mask
+			}
+		case wire.OrR:
+			x := li[e.a[0]]
+			for l := range out {
+				out[l] = b2u(x[l] != 0)
+			}
+		case wire.Mux:
+			c, x, y := li[e.a[0]], li[e.a[1]], li[e.a[2]]
+			for l := range out {
+				if c[l] != 0 {
+					out[l] = x[l] & e.mask
+				} else {
+					out[l] = y[l] & e.mask
+				}
+			}
+		case wire.MuxChain:
+			slots := e.ext
+			if slots == nil {
+				slots = e.a[:e.n]
+			}
+			for l := range out {
+				out[l] = muxChainLane(li, slots, l) & e.mask
+			}
+		default:
+			var args [3]uint64
+			for l := range out {
+				for o := 0; o < int(e.n); o++ {
+					args[o] = li[e.a[o]][l]
+				}
+				out[l] = wire.Eval(e.op, args[:e.n], e.mask)
+			}
+		}
+	}
+	lanes := b.lanes
+	for i, slot := range b.t.OutputSlots {
+		copy(b.outs[i*lanes:(i+1)*lanes], li[slot])
+	}
+}
+
+func muxChainLane(li [][]uint64, slots []int32, lane int) uint64 {
+	n := len(slots)
+	for i := 0; i+1 < n; i += 2 {
+		if li[slots[i]][lane] != 0 {
+			return li[slots[i+1]][lane]
+		}
+	}
+	return li[slots[n-1]][lane]
+}
+
+// Step runs Settle followed by the simultaneous register commit of every
+// lane.
+func (b *Batch) Step() {
+	b.Settle()
+	lanes := b.lanes
+	for i, r := range b.t.RegSlots {
+		src := b.li[r.Next]
+		dst := b.next[i*lanes : (i+1)*lanes]
+		for l := range dst {
+			dst[l] = src[l] & r.Mask
+		}
+	}
+	for i, r := range b.t.RegSlots {
+		copy(b.li[r.Q], b.next[i*lanes:(i+1)*lanes])
+	}
+}

@@ -95,30 +95,6 @@ type Engine interface {
 	Tensor() *oim.Tensor
 }
 
-// New builds the engine for a configuration.
-func New(t *oim.Tensor, cfg Config) (Engine, error) {
-	if t.NumSlots == 0 {
-		return nil, fmt.Errorf("kernel: empty design")
-	}
-	switch cfg.Kind {
-	case RU:
-		return newRU(t, cfg.UnoptimizedFormat), nil
-	case OU:
-		return newOU(t, cfg.UnoptimizedFormat), nil
-	case NU:
-		return newNU(t), nil
-	case PSU:
-		return newPSU(t), nil
-	case IU:
-		return newIU(t), nil
-	case SU:
-		return newSU(t), nil
-	case TI:
-		return newTI(t), nil
-	}
-	return nil, fmt.Errorf("kernel: unknown kind %v", cfg.Kind)
-}
-
 // state is the shared simulation state and port plumbing embedded by every
 // engine: the LI tensor (one value per coordinate), the staged register
 // commit, and output sampling at combinational settle.

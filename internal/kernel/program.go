@@ -1,0 +1,110 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"rteaal/internal/oim"
+)
+
+// Program is the immutable, shareable half of a kernel: the OIM tensor plus
+// whatever read-only lowering the selected configuration consults at runtime
+// (coordinate arrays, the swizzled format, the IU segment plan, or the SU/TI
+// tape). Building a Program does all the per-design work once; Instantiate
+// then mints any number of independent engines whose mutable state (the LI
+// values, staged register commits, sampled outputs, and LO buffer) is
+// private per engine. This is what lets one compiled design serve many
+// concurrent simulation sessions without recompiling or racing.
+type Program struct {
+	t   *oim.Tensor
+	cfg Config
+
+	arrays    *oim.Arrays   // RU, OU
+	sw        *oim.Swizzled // NU, PSU, IU
+	plan      []layerPlan   // IU
+	tape      []tapeOp      // SU, TI
+	layerEnds []int         // SU
+
+	// batchTape is the lane-schedule for InstantiateBatch, built lazily
+	// once per program (shared with tape for SU/TI).
+	batchOnce sync.Once
+	batchTape []tapeOp
+}
+
+// NewProgram lowers t for the configuration and returns the shared program.
+func NewProgram(t *oim.Tensor, cfg Config) (*Program, error) {
+	if t.NumSlots == 0 {
+		return nil, fmt.Errorf("kernel: empty design")
+	}
+	p := &Program{t: t, cfg: cfg}
+	switch cfg.Kind {
+	case RU, OU:
+		p.arrays = t.Lower(!cfg.UnoptimizedFormat)
+	case NU, PSU:
+		p.sw = t.LowerSwizzled()
+	case IU:
+		p.sw = t.LowerSwizzled()
+		p.plan = buildLayerPlan(t, p.sw)
+	case SU:
+		p.tape, p.layerEnds = buildTape(t)
+	case TI:
+		p.tape, _ = buildTape(t)
+	default:
+		return nil, fmt.Errorf("kernel: unknown kind %v", cfg.Kind)
+	}
+	return p, nil
+}
+
+// Kind reports the kernel configuration the program was lowered for.
+func (p *Program) Kind() Kind { return p.cfg.Kind }
+
+// Tensor returns the underlying OIM. Callers must treat it as read-only.
+func (p *Program) Tensor() *oim.Tensor { return p.t }
+
+// Instantiate creates a fresh engine with its own simulation state over the
+// shared read-only program. Engines from one program may be stepped from
+// different goroutines concurrently; a single engine may not.
+func (p *Program) Instantiate() Engine {
+	switch p.cfg.Kind {
+	case RU:
+		return &ruEngine{state: newState(p.t), a: p.arrays}
+	case OU:
+		return &ouEngine{state: newState(p.t), a: p.arrays}
+	case NU:
+		return &nuEngine{swizzledBase{state: newState(p.t), sw: p.sw}}
+	case PSU:
+		return &psuEngine{swizzledBase{state: newState(p.t), sw: p.sw}}
+	case IU:
+		return &iuEngine{swizzledBase: swizzledBase{state: newState(p.t), sw: p.sw}, plan: p.plan}
+	case SU:
+		return &suEngine{state: newState(p.t), tape: p.tape, layerEnds: p.layerEnds}
+	case TI:
+		return &tiEngine{state: newState(p.t), tape: p.tape}
+	}
+	panic("kernel: program with unknown kind") // NewProgram rejects these
+}
+
+// InstantiateBatch mints a lanes-wide [Batch] over the shared tensor. The
+// tape schedule is reused from the program when it has one (SU/TI) and
+// built lazily — once, not per batch — otherwise.
+func (p *Program) InstantiateBatch(lanes int) (*Batch, error) {
+	p.batchOnce.Do(func() {
+		if p.tape != nil {
+			p.batchTape = p.tape
+		} else {
+			p.batchTape, _ = buildTape(p.t)
+		}
+	})
+	return newBatch(p.t, p.batchTape, lanes)
+}
+
+// New builds the engine for a configuration. It is the single-engine
+// convenience wrapper over NewProgram + Instantiate; callers that want many
+// engines of one design should hold the Program and Instantiate per engine.
+func New(t *oim.Tensor, cfg Config) (Engine, error) {
+	p, err := NewProgram(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Instantiate(), nil
+}

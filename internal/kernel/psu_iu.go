@@ -12,8 +12,6 @@ import (
 // change.
 type psuEngine struct{ swizzledBase }
 
-func newPSU(t *oim.Tensor) *psuEngine { return &psuEngine{newSwizzledBase(t)} }
-
 func (e *psuEngine) Name() string { return "PSU" }
 
 const (
@@ -154,14 +152,16 @@ type segment struct {
 	si, ri int
 }
 
-func newIU(t *oim.Tensor) *iuEngine {
-	e := &iuEngine{swizzledBase: newSwizzledBase(t)}
-	numSigs := e.sw.NumSigs
+// buildLayerPlan compiles the layer structure into IU's segment plan once
+// per program; engines share the plan read-only.
+func buildLayerPlan(t *oim.Tensor, sw *oim.Swizzled) []layerPlan {
+	var plan []layerPlan
+	numSigs := sw.NumSigs
 	si, ri := 0, 0
 	for i := range t.Layers {
 		lp := layerPlan{sBase: si}
 		for sig := 0; sig < numSigs; sig++ {
-			count := int(e.sw.NPayload[i*numSigs+sig])
+			count := int(sw.NPayload[i*numSigs+sig])
 			if count == 0 {
 				continue // compiled away: IU's whole point
 			}
@@ -171,9 +171,9 @@ func newIU(t *oim.Tensor) *iuEngine {
 			ri += count * int(s.Arity)
 			lp.count += count
 		}
-		e.plan = append(e.plan, lp)
+		plan = append(plan, lp)
 	}
-	return e
+	return plan
 }
 
 func (e *iuEngine) Name() string { return "IU" }

@@ -15,10 +15,6 @@ type ruEngine struct {
 	a *oim.Arrays
 }
 
-func newRU(t *oim.Tensor, unoptFormat bool) *ruEngine {
-	return &ruEngine{state: newState(t), a: t.Lower(!unoptFormat)}
-}
-
 func (e *ruEngine) Name() string { return "RU" }
 
 func (e *ruEngine) Settle() {
@@ -88,10 +84,6 @@ func (e *ruEngine) Step() {
 type ouEngine struct {
 	state
 	a *oim.Arrays
-}
-
-func newOU(t *oim.Tensor, unoptFormat bool) *ouEngine {
-	return &ouEngine{state: newState(t), a: t.Lower(!unoptFormat)}
 }
 
 func (e *ouEngine) Name() string { return "OU" }

@@ -14,10 +14,6 @@ type swizzledBase struct {
 	sw *oim.Swizzled
 }
 
-func newSwizzledBase(t *oim.Tensor) swizzledBase {
-	return swizzledBase{state: newState(t), sw: t.LowerSwizzled()}
-}
-
 // runGroup evaluates count consecutive operations sharing one signature,
 // reading the S/R coordinate streams at si/ri and writing lo positionally.
 // It returns the advanced ri.
@@ -171,8 +167,6 @@ func (e *swizzledBase) writeBack(sBase, count int) {
 
 // nuEngine is the N-rank-unrolled kernel (Algorithm 4).
 type nuEngine struct{ swizzledBase }
-
-func newNU(t *oim.Tensor) *nuEngine { return &nuEngine{newSwizzledBase(t)} }
 
 func (e *nuEngine) Name() string { return "NU" }
 

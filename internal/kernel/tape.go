@@ -99,11 +99,6 @@ type suEngine struct {
 	layerEnds []int
 }
 
-func newSU(t *oim.Tensor) *suEngine {
-	tape, ends := buildTape(t)
-	return &suEngine{state: newState(t), tape: tape, layerEnds: ends}
-}
-
 func (e *suEngine) Name() string { return "SU" }
 
 func (e *suEngine) Settle() {
@@ -135,11 +130,6 @@ func (e *suEngine) Step() {
 type tiEngine struct {
 	state
 	tape []tapeOp
-}
-
-func newTI(t *oim.Tensor) *tiEngine {
-	tape, _ := buildTape(t)
-	return &tiEngine{state: newState(t), tape: tape}
 }
 
 func (e *tiEngine) Name() string { return "TI" }

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+
+	"rteaal/internal/kernel"
+)
+
+// Batch simulates n independent stimuli of one [Design] lock-step: every
+// Step settles and commits all lanes through a single schedule, with the
+// value state held in structure-of-arrays layout (one lane-vector per LI
+// slot). Lanes never interact — lane l of a batch produces exactly the trace
+// a dedicated [Session] fed the same inputs would — but amortise all control
+// flow and walk memory contiguously, the first step toward SIMD batching.
+//
+// A Batch is not safe for concurrent use; mint one per goroutine or put
+// sessions behind a [Pool] instead.
+type Batch struct {
+	d     *Design
+	b     *kernel.Batch
+	cycle int64
+}
+
+// Design returns the compiled design this batch simulates.
+func (b *Batch) Design() *Design { return b.d }
+
+// Lanes reports the batch width n.
+func (b *Batch) Lanes() int { return b.b.Lanes() }
+
+// Cycle reports completed cycles since construction or Reset.
+func (b *Batch) Cycle() int64 { return b.cycle }
+
+func (b *Batch) checkLane(lane int) error {
+	if lane < 0 || lane >= b.b.Lanes() {
+		return fmt.Errorf("sim: lane %d out of range [0,%d)", lane, b.b.Lanes())
+	}
+	return nil
+}
+
+// Poke drives a primary input of one lane by name.
+func (b *Batch) Poke(lane int, name string, v uint64) error {
+	if err := b.checkLane(lane); err != nil {
+		return err
+	}
+	i, ok := b.d.inputs[name]
+	if !ok {
+		return fmt.Errorf("sim: no input named %q", name)
+	}
+	b.b.PokeInput(lane, i, v)
+	return nil
+}
+
+// PokeAll drives a primary input to the same value in every lane.
+func (b *Batch) PokeAll(name string, v uint64) error {
+	i, ok := b.d.inputs[name]
+	if !ok {
+		return fmt.Errorf("sim: no input named %q", name)
+	}
+	for lane := 0; lane < b.b.Lanes(); lane++ {
+		b.b.PokeInput(lane, i, v)
+	}
+	return nil
+}
+
+// Peek reads a primary output of one lane by name as sampled at the last
+// settle.
+func (b *Batch) Peek(lane int, name string) (uint64, error) {
+	if err := b.checkLane(lane); err != nil {
+		return 0, err
+	}
+	i, ok := b.d.outputs[name]
+	if !ok {
+		return 0, fmt.Errorf("sim: no output named %q", name)
+	}
+	return b.b.PeekOutput(lane, i), nil
+}
+
+// PokeIndex drives the i-th primary input of one lane (order of
+// [Design.Inputs]); the allocation-free fast path.
+func (b *Batch) PokeIndex(lane, i int, v uint64) { b.b.PokeInput(lane, i, v) }
+
+// PeekIndex reads the i-th primary output of one lane (order of
+// [Design.Outputs]).
+func (b *Batch) PeekIndex(lane, i int) uint64 { return b.b.PeekOutput(lane, i) }
+
+// Registers copies one lane's committed register values. It panics if lane
+// is out of range.
+func (b *Batch) Registers(lane int) []uint64 {
+	if err := b.checkLane(lane); err != nil {
+		panic(err)
+	}
+	return b.b.RegSnapshot(lane)
+}
+
+// Settle performs one combinational evaluation of every lane.
+func (b *Batch) Settle() { b.b.Settle() }
+
+// Step advances every lane one clock cycle.
+func (b *Batch) Step() {
+	b.b.Step()
+	b.cycle++
+}
+
+// Run advances every lane n cycles.
+func (b *Batch) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		b.Step()
+	}
+}
+
+// Reset restores every lane to the initial state.
+func (b *Batch) Reset() {
+	b.b.Reset()
+	b.cycle = 0
+}

@@ -1,0 +1,167 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rteaal/sim"
+)
+
+// TestBatchMatchesSessionIdenticalLanes drives every lane of a batch with
+// the same stimulus a single session sees and requires bit-identical
+// register and output traces, for both the PSU and TI compilations the
+// acceptance criteria name.
+func TestBatchMatchesSessionIdenticalLanes(t *testing.T) {
+	src := genDesignSrc(t)
+	for _, k := range []sim.Kernel{sim.PSU, sim.TI} {
+		d, err := sim.Compile(src, sim.WithKernel(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nIn := len(d.Inputs())
+		const lanes, cycles = 4, 5
+		b, err := d.NewBatch(lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Lanes() != lanes {
+			t.Fatalf("Lanes() = %d", b.Lanes())
+		}
+		s := d.NewSession()
+		rngS := rand.New(rand.NewSource(42))
+		rngB := rand.New(rand.NewSource(42))
+		for c := 0; c < cycles; c++ {
+			for i := 0; i < nIn; i++ {
+				s.PokeIndex(i, rngS.Uint64())
+			}
+			for i := 0; i < nIn; i++ {
+				v := rngB.Uint64()
+				for lane := 0; lane < lanes; lane++ {
+					b.PokeIndex(lane, i, v)
+				}
+			}
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+			b.Step()
+			wantRegs := s.Registers()
+			for lane := 0; lane < lanes; lane++ {
+				gotRegs := b.Registers(lane)
+				for i := range wantRegs {
+					if gotRegs[i] != wantRegs[i] {
+						t.Fatalf("%v cycle %d lane %d: reg[%d] = %d, session %d",
+							k, c, lane, i, gotRegs[i], wantRegs[i])
+					}
+				}
+				for i := range d.Outputs() {
+					if got, want := b.PeekIndex(lane, i), s.PeekIndex(i); got != want {
+						t.Fatalf("%v cycle %d lane %d: out[%d] = %d, session %d",
+							k, c, lane, i, got, want)
+					}
+				}
+			}
+		}
+		if b.Cycle() != cycles {
+			t.Fatalf("batch cycle = %d", b.Cycle())
+		}
+	}
+}
+
+// TestBatchLanesAreIndependent feeds each lane a distinct stimulus and
+// checks every lane against its own dedicated session.
+func TestBatchLanesAreIndependent(t *testing.T) {
+	src := genDesignSrc(t)
+	d, err := sim.Compile(src, sim.WithKernel(sim.PSU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nIn := len(d.Inputs())
+	const lanes, cycles = 3, 4
+	b, err := d.NewBatch(lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchTraces [lanes][]uint64
+	rngs := make([]*rand.Rand, lanes)
+	for lane := range rngs {
+		rngs[lane] = rand.New(rand.NewSource(int64(1000 + lane)))
+	}
+	for c := 0; c < cycles; c++ {
+		for lane := 0; lane < lanes; lane++ {
+			for i := 0; i < nIn; i++ {
+				b.PokeIndex(lane, i, rngs[lane].Uint64())
+			}
+		}
+		b.Step()
+		for lane := 0; lane < lanes; lane++ {
+			batchTraces[lane] = append(batchTraces[lane], b.Registers(lane)...)
+		}
+	}
+	for lane := 0; lane < lanes; lane++ {
+		want := sessionTrace(t, d.NewSession(), int64(1000+lane), cycles, nIn)
+		for i := range want {
+			if batchTraces[lane][i] != want[i] {
+				t.Fatalf("lane %d diverges from its session at trace[%d]: %d != %d",
+					lane, i, batchTraces[lane][i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchNamedPortsAndReset(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.NewBatch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NewBatch(0); err == nil {
+		t.Fatal("NewBatch(0) accepted")
+	}
+	if err := b.Poke(0, "step", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Poke(1, "step", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Poke(0, "bogus", 1); err == nil {
+		t.Fatal("poke of unknown input accepted")
+	}
+	if err := b.Poke(2, "step", 1); err == nil {
+		t.Fatal("poke of out-of-range lane accepted")
+	}
+	if _, err := b.Peek(-1, "count"); err == nil {
+		t.Fatal("peek of out-of-range lane accepted")
+	}
+	b.Run(10)
+	// Outputs are sampled at settle, before that cycle's register commit.
+	v0, err := b.Peek(0, "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := b.Peek(1, "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 != 9 || v1 != 27 {
+		t.Fatalf("settled counts = %d, %d; want 9, 27", v0, v1)
+	}
+	if r0, r1 := b.Registers(0)[0], b.Registers(1)[0]; r0 != 10 || r1 != 30 {
+		t.Fatalf("committed counts = %d, %d; want 10, 30", r0, r1)
+	}
+	b.Reset()
+	if b.Cycle() != 0 {
+		t.Fatalf("cycle after reset = %d", b.Cycle())
+	}
+	if err := b.PokeAll("step", 2); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(5)
+	for lane := 0; lane < 2; lane++ {
+		if got := b.Registers(lane)[0]; got != 10 {
+			t.Fatalf("lane %d after reset+run: %d, want 10", lane, got)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"io"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/firrtl"
+	"rteaal/internal/kernel"
+	"rteaal/internal/oim"
+)
+
+// config is the resolved compilation configuration an option list produces.
+type config struct {
+	kernel      Kernel
+	passes      OptPasses
+	waveform    bool
+	unoptFormat bool
+}
+
+// Option configures compilation. Options are applied in order; later options
+// win.
+type Option func(*config)
+
+// WithKernel selects the kernel configuration. The default is [PSU].
+func WithKernel(k Kernel) Option {
+	return func(c *config) { c.kernel = k }
+}
+
+// WithWaveform compiles for waveform capture: signal-eliminating
+// optimisations are disabled so every register keeps its LI coordinate and
+// [Session.EnableWaveform] can record it (§6.2).
+func WithWaveform() Option {
+	return func(c *config) { c.waveform = true }
+}
+
+// WithOptPasses overrides the dataflow-graph optimisation set. The default
+// is [DefaultOptPasses].
+func WithOptPasses(p OptPasses) Option {
+	return func(c *config) { c.passes = p }
+}
+
+// WithUnoptimizedFormat keeps the redundant Figure 12a payload arrays (only
+// meaningful for RU/OU, whose loops consult them); used by the
+// format-compression ablation.
+func WithUnoptimizedFormat() Option {
+	return func(c *config) { c.unoptFormat = true }
+}
+
+// Design is an immutable compiled design: the optimized dataflow graph, the
+// OIM tensor, and the kernel program lowered for the selected configuration.
+// All simulation state lives in the [Session] and [Batch] values a design
+// mints, so one design can back any number of concurrent simulations.
+type Design struct {
+	graph   *dfg.Graph
+	tensor  *oim.Tensor
+	prog    *kernel.Program
+	cfg     config
+	inputs  map[string]int
+	outputs map[string]int
+}
+
+// Compile parses FIRRTL source text and runs the full Figure 14 pipeline.
+func Compile(src string, opts ...Option) (*Design, error) {
+	g, err := firrtl.ParseAndElaborate(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileGraph(g, opts...)
+}
+
+// CompileGraph compiles an already-built dataflow graph. The input graph is
+// not modified; the design keeps its own optimized copy.
+func CompileGraph(g *dfg.Graph, opts ...Option) (*Design, error) {
+	cfg := config{kernel: PSU, passes: DefaultOptPasses()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	o := dfg.OptOptions{
+		ConstFold:    cfg.passes.ConstFold,
+		CopyProp:     cfg.passes.CopyProp,
+		CSE:          cfg.passes.CSE,
+		MuxChainFuse: cfg.passes.MuxChainFuse,
+		DCE:          cfg.passes.DCE,
+		SweepRegs:    cfg.passes.SweepRegs,
+	}
+	if cfg.waveform {
+		o.SweepRegs = false
+	}
+	optg, err := dfg.Optimize(g, o)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := dfg.Levelize(optg)
+	if err != nil {
+		return nil, err
+	}
+	t, err := oim.Build(lv)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := kernel.NewProgram(t, kernel.Config{
+		Kind:              cfg.kernel.kind(),
+		UnoptimizedFormat: cfg.unoptFormat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{
+		graph:   optg,
+		tensor:  t,
+		prog:    prog,
+		cfg:     cfg,
+		inputs:  make(map[string]int, len(t.InputNames)),
+		outputs: make(map[string]int, len(t.OutputNames)),
+	}
+	for i, n := range t.InputNames {
+		d.inputs[n] = i
+	}
+	for i, n := range t.OutputNames {
+		d.outputs[n] = i
+	}
+	return d, nil
+}
+
+// Name reports the circuit name.
+func (d *Design) Name() string { return d.tensor.Design }
+
+// Kernel reports the configuration the design was compiled for.
+func (d *Design) Kernel() Kernel { return d.cfg.kernel }
+
+// Inputs lists the primary input names in port order. Poke indices follow
+// this order.
+func (d *Design) Inputs() []string {
+	return append([]string(nil), d.tensor.InputNames...)
+}
+
+// Outputs lists the primary output names in port order. Peek indices follow
+// this order.
+func (d *Design) Outputs() []string {
+	return append([]string(nil), d.tensor.OutputNames...)
+}
+
+// Stats summarises the compiled design.
+type Stats struct {
+	// Design is the circuit name.
+	Design string
+	// Ops counts effectual operations in the OIM (identities elided).
+	Ops int
+	// Layers is the levelization depth.
+	Layers int
+	// Slots is the LI tensor size (coordinates).
+	Slots int
+	// Registers counts architectural registers.
+	Registers int
+	// Inputs and Outputs count primary ports.
+	Inputs, Outputs int
+	// Density is the OIM occupancy fraction.
+	Density float64
+	// EffectualOps and IdentityOps carry the Table 1 accounting from
+	// levelization: identities are counted, then elided.
+	EffectualOps, IdentityOps int64
+}
+
+// Stats reports compile-time figures for the design.
+func (d *Design) Stats() Stats {
+	t := d.tensor
+	return Stats{
+		Design:       t.Design,
+		Ops:          t.TotalOps(),
+		Layers:       t.NumLayers(),
+		Slots:        t.NumSlots,
+		Registers:    len(t.RegSlots),
+		Inputs:       len(t.InputSlots),
+		Outputs:      len(t.OutputSlots),
+		Density:      t.Density(),
+		EffectualOps: t.EffectualOps,
+		IdentityOps:  t.IdentityOps,
+	}
+}
+
+// WriteOIM serialises the design's OIM tensor as JSON, the compiler output
+// format of Figure 14.
+func (d *Design) WriteOIM(w io.Writer) error { return d.tensor.WriteJSON(w) }
+
+// NewSession mints an independent simulation instance over the shared
+// compiled program. Sessions are cheap — only the mutable value state is
+// allocated — and distinct sessions may run concurrently.
+func (d *Design) NewSession() *Session {
+	return &Session{d: d, eng: d.prog.Instantiate()}
+}
+
+// NewBatch mints an n-lane lock-step simulation over the shared tensor; see
+// [Batch]. The lane schedule is lowered once per design and shared by all
+// its batches.
+func (d *Design) NewBatch(n int) (*Batch, error) {
+	b, err := d.prog.InstantiateBatch(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{d: d, b: b}, nil
+}

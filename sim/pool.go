@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Pool serves [Session] values of one [Design] from a bounded,
+// concurrency-safe free-list. Sessions are created lazily up to the pool's
+// capacity; when all are checked out, [Pool.Get] blocks until one is
+// returned or the caller's context is done. This is the serving shape for
+// many-user traffic: compile once, fan requests out over cheap pooled
+// sessions.
+type Pool struct {
+	d    *Design
+	free chan *Session // idle sessions ready for checkout
+	mint chan struct{} // remaining lazy-creation budget
+
+	mu  sync.Mutex
+	out map[*Session]bool // sessions currently checked out
+}
+
+// NewPool builds a pool of at most size sessions of d.
+func NewPool(d *Design, size int) (*Pool, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("sim: pool needs capacity >= 1, got %d", size)
+	}
+	p := &Pool{
+		d:    d,
+		free: make(chan *Session, size),
+		mint: make(chan struct{}, size),
+		out:  make(map[*Session]bool, size),
+	}
+	for i := 0; i < size; i++ {
+		p.mint <- struct{}{}
+	}
+	return p, nil
+}
+
+// Design returns the compiled design the pool serves.
+func (p *Pool) Design() *Design { return p.d }
+
+// Cap reports the pool's session capacity.
+func (p *Pool) Cap() int { return cap(p.free) }
+
+// Idle reports how many sessions are currently checked in. Creation budget
+// not yet spent counts as idle capacity.
+func (p *Pool) Idle() int { return len(p.free) + len(p.mint) }
+
+// Get checks a session out, blocking while the pool is exhausted. The
+// session starts in the reset state. The caller must hand it back with
+// [Pool.Put] when done.
+func (p *Pool) Get(ctx context.Context) (*Session, error) {
+	// Fast path: an idle session or unspent creation budget.
+	select {
+	case s := <-p.free:
+		return p.checkout(s), nil
+	case <-p.mint:
+		return p.checkout(p.d.NewSession()), nil
+	default:
+	}
+	select {
+	case s := <-p.free:
+		return p.checkout(s), nil
+	case <-p.mint:
+		return p.checkout(p.d.NewSession()), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (p *Pool) checkout(s *Session) *Session {
+	p.mu.Lock()
+	p.out[s] = true
+	p.mu.Unlock()
+	return s
+}
+
+// Put checks a session back in, resetting it so the next checkout starts
+// clean. The caller must not use s afterwards. Put panics if s is not
+// currently checked out of this pool (a double Put, or a session from
+// elsewhere) — returning such a session would alias it to two callers.
+func (p *Pool) Put(s *Session) {
+	if s == nil || s.d != p.d {
+		panic("sim: Pool.Put of session from a different design")
+	}
+	p.mu.Lock()
+	ok := p.out[s]
+	delete(p.out, s)
+	p.mu.Unlock()
+	if !ok {
+		panic("sim: Pool.Put without matching Get")
+	}
+	s.Reset()
+	p.free <- s // cannot block: every checked-out session has a slot
+}
+
+// Do checks a session out, runs fn on it, and checks it back in, returning
+// fn's error (or the checkout error).
+func (p *Pool) Do(ctx context.Context, fn func(*Session) error) error {
+	s, err := p.Get(ctx)
+	if err != nil {
+		return err
+	}
+	defer p.Put(s)
+	return fn(s)
+}

@@ -1,0 +1,153 @@
+package sim_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rteaal/sim"
+)
+
+// TestPoolConcurrentCheckout hammers a small pool from 16 goroutines (run
+// under -race in CI): every worker repeatedly checks a session out, runs an
+// independent counter simulation on it, and verifies the result, proving
+// sessions never share mutable state and the free-list is safe.
+func TestPoolConcurrentCheckout(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, iters = 16, 8
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				step := uint64(w%7 + 1)
+				cycles := int64(it%5 + 3)
+				err := p.Do(ctx, func(s *sim.Session) error {
+					if got := s.Cycle(); got != 0 {
+						t.Errorf("checked-out session not reset: cycle %d", got)
+					}
+					if err := s.Poke("step", step); err != nil {
+						return err
+					}
+					if err := s.Run(cycles); err != nil {
+						return err
+					}
+					want := (step * uint64(cycles)) & 0xff
+					if got := s.PeekReg(0); got != want {
+						t.Errorf("worker %d iter %d: count %d, want %d", w, it, got, want)
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.Idle() != p.Cap() {
+		t.Fatalf("pool leaked sessions: idle %d of %d", p.Idle(), p.Cap())
+	}
+}
+
+func TestPoolContextCancellation(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool exhausted: Get must respect the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Get(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Get on exhausted pool: err = %v, want DeadlineExceeded", err)
+	}
+	p.Put(s)
+	// And succeed again once capacity returns.
+	s2, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(s2)
+}
+
+func TestPoolMisuse(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.NewPool(d, 0); err == nil {
+		t.Fatal("NewPool(0) accepted")
+	}
+	p, err := sim.NewPool(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Put of foreign session did not panic")
+			}
+		}()
+		p.Put(other.NewSession())
+	}()
+}
+
+// TestPoolDoublePutPanics covers the aliasing hazard: a double Put while
+// another session is still checked out must panic rather than enqueue the
+// same session twice.
+func TestPoolDoublePutPanics(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s1, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(ctx); err != nil { // s2 stays checked out
+		t.Fatal(err)
+	}
+	p.Put(s1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Put with free capacity did not panic")
+			}
+		}()
+		p.Put(s1)
+	}()
+}

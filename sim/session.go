@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"rteaal/internal/kernel"
+	"rteaal/internal/vcd"
+)
+
+// Session is one runnable simulation of a compiled [Design]. Each session
+// owns its full mutable state — the LI value tensor, staged register
+// commits, and sampled outputs — while the design's graph, OIM tensor, and
+// kernel program stay shared and read-only. Distinct sessions of one design
+// may be used from different goroutines concurrently; a single session is
+// not safe for concurrent use.
+type Session struct {
+	d       *Design
+	eng     kernel.Engine
+	cycle   int64
+	wave    *vcd.Writer
+	waveSig []int32 // slots sampled into the waveform
+}
+
+// Design returns the compiled design this session simulates.
+func (s *Session) Design() *Design { return s.d }
+
+// Cycle reports completed cycles since construction or Reset.
+func (s *Session) Cycle() int64 { return s.cycle }
+
+// Poke drives a primary input by name.
+func (s *Session) Poke(name string, v uint64) error {
+	i, ok := s.d.inputs[name]
+	if !ok {
+		return fmt.Errorf("sim: no input named %q", name)
+	}
+	s.eng.PokeInput(i, v)
+	return nil
+}
+
+// Peek reads a primary output by name as sampled at the last settle.
+func (s *Session) Peek(name string) (uint64, error) {
+	i, ok := s.d.outputs[name]
+	if !ok {
+		return 0, fmt.Errorf("sim: no output named %q", name)
+	}
+	return s.eng.PeekOutput(i), nil
+}
+
+// PokeIndex drives the i-th primary input (order of [Design.Inputs]); the
+// allocation-free fast path for generated stimulus.
+func (s *Session) PokeIndex(i int, v uint64) { s.eng.PokeInput(i, v) }
+
+// PeekIndex reads the i-th primary output (order of [Design.Outputs]).
+func (s *Session) PeekIndex(i int) uint64 { return s.eng.PeekOutput(i) }
+
+// PeekReg reads a register's committed value by index.
+func (s *Session) PeekReg(i int) uint64 { return s.eng.RegSnapshot()[i] }
+
+// Registers copies all committed register values.
+func (s *Session) Registers() []uint64 { return s.eng.RegSnapshot() }
+
+// Settle performs one combinational evaluation without committing
+// registers, refreshing the sampled outputs.
+func (s *Session) Settle() { s.eng.Settle() }
+
+// Step advances one clock cycle, sampling the waveform if enabled.
+func (s *Session) Step() error {
+	s.eng.Step()
+	s.cycle++
+	if s.wave != nil {
+		vals := make([]uint64, len(s.waveSig))
+		for i, slot := range s.waveSig {
+			vals[i] = s.eng.PeekSlot(slot)
+		}
+		if err := s.wave.Sample(vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run advances n cycles.
+func (s *Session) Run(n int64) error {
+	for i := int64(0); i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset restores the initial state (the waveform keeps recording).
+func (s *Session) Reset() {
+	s.eng.Reset()
+	s.cycle = 0
+}
+
+// EnableWaveform records every primary output and register to w as VCD,
+// sampled once per Step. Compile the design with [WithWaveform] so no
+// register is optimised away before capture.
+func (s *Session) EnableWaveform(w io.Writer) error {
+	t := s.d.tensor
+	wr := vcd.NewWriter(w)
+	var slots []int32
+	add := func(name string, slot int32) error {
+		// Width from the mask.
+		width := 0
+		for m := t.Masks[slot]; m != 0; m >>= 1 {
+			width++
+		}
+		if width == 0 {
+			width = 1
+		}
+		if err := wr.AddSignal(name, width); err != nil {
+			return err
+		}
+		slots = append(slots, slot)
+		return nil
+	}
+	for i, name := range t.OutputNames {
+		if err := add(name, t.OutputSlots[i]); err != nil {
+			return err
+		}
+	}
+	for i, r := range t.RegSlots {
+		if err := add(fmt.Sprintf("reg_%d", i), r.Q); err != nil {
+			return err
+		}
+	}
+	s.wave = wr
+	s.waveSig = slots
+	return nil
+}
+
+// CloseWaveform finalises the VCD stream.
+func (s *Session) CloseWaveform() error {
+	if s.wave == nil {
+		return nil
+	}
+	err := s.wave.Close()
+	s.wave = nil
+	return err
+}
