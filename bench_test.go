@@ -200,15 +200,24 @@ func BenchmarkAblationIdentityExplicit(b *testing.B) {
 // Ablation: RepCut thread scaling (1..8 partitions on the rocket design).
 func benchRepCut(b *testing.B, parts int) {
 	_, t := benchDesign(b)
-	pc, err := repcut.New(t, parts, kernel.PSU)
+	plan, err := repcut.NewPlan(t, parts)
 	if err != nil {
 		b.Fatal(err)
 	}
+	progs, err := plan.Lower(kernel.Config{Kind: kernel.PSU})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc, err := plan.Instantiate(progs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pc.Close()
 	rng := rand.New(rand.NewSource(1))
 	for i := range t.InputSlots {
 		pc.PokeInput(i, rng.Uint64())
 	}
-	b.ReportMetric(pc.ReplicationFactor, "replication")
+	b.ReportMetric(plan.Stats().ReplicationFactor, "replication")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pc.Step()

@@ -5,7 +5,9 @@
 //
 // The extra "throughput" experiment (not from the paper) measures the
 // serving path of the public sim package: single-session stepping versus
-// SoA multi-lane batches versus a session pool drained by parallel workers.
+// RepCut-partitioned sessions versus SoA multi-lane batches versus a
+// session pool drained by parallel workers. "partitions" is the RepCut
+// strong-scaling study (speedup vs. replication and cut size).
 package main
 
 import (
@@ -46,6 +48,7 @@ func main() {
 		"figure21":   func() error { return bench.Figure21(os.Stdout, c) },
 		"table7":     func() error { return bench.Table7(os.Stdout, c) },
 		"throughput": func() error { return throughput(c) },
+		"partitions": func() error { return partitionScaling(c) },
 	}
 
 	args := flag.Args()
@@ -62,7 +65,7 @@ func main() {
 		}
 		f, ok := experiments[name]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, partitions, all)", name))
 		}
 		if err := f(); err != nil {
 			fatal(err)
@@ -104,6 +107,31 @@ func throughput(c bench.Config) error {
 	el := time.Since(start)
 	base := float64(cycles) / el.Seconds()
 	fmt.Printf("  %-22s %12.0f cycles/s\n", "session x1", base)
+
+	// Partitioned sessions: RepCut threads accelerate one instance.
+	for _, parts := range []int{2, 4} {
+		pd, err := sim.CompileGraph(g, sim.WithKernel(sim.PSU), sim.WithPartitions(parts))
+		if err != nil {
+			return err
+		}
+		ps := pd.NewSession()
+		rng := rand.New(rand.NewSource(1))
+		start := time.Now()
+		for i := 0; i < cycles; i++ {
+			for j := 0; j < nIn; j++ {
+				ps.PokeIndex(j, rng.Uint64())
+			}
+			if err := ps.Step(); err != nil {
+				return err
+			}
+		}
+		el := time.Since(start)
+		ps.Close()
+		rate := float64(cycles) / el.Seconds()
+		pst, _ := pd.PartitionStats()
+		fmt.Printf("  %-22s %12.0f cycles/s       (%.1fx one session, replication %.2fx)\n",
+			fmt.Sprintf("session x1, %d parts", pst.Partitions), rate, rate/base, pst.ReplicationFactor)
+	}
 
 	// Batches: lock-step lanes multiply delivered simulation cycles.
 	for _, lanes := range []int{4, 16, 64} {
@@ -159,6 +187,51 @@ func throughput(c bench.Config) error {
 	agg := float64(cycles*workers) / el.Seconds()
 	fmt.Printf("  %-22s %12.0f session-cycles/s  (%.1fx one session, %d workers)\n",
 		fmt.Sprintf("pool x%d", workers), agg, agg/base, workers)
+	return nil
+}
+
+// partitionScaling is the RepCut strong-scaling experiment (§8): one
+// design, growing partition counts, reporting wall-clock speedup against
+// the cost side of the trade — replicated logic and exchanged registers.
+func partitionScaling(c bench.Config) error {
+	g, _, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: c.Scale})
+	if err != nil {
+		return err
+	}
+	const cycles = 1000
+	fmt.Printf("partitions: RepCut scaling on rocket/%d, PSU kernel, %d cycles (GOMAXPROCS=%d)\n",
+		c.Scale, cycles, runtime.GOMAXPROCS(0))
+	fmt.Printf("  %-6s %-12s %-10s %-12s %-8s %s\n",
+		"parts", "cycles/s", "speedup", "replication", "cut", "ops max/min")
+	var base float64
+	for _, parts := range []int{1, 2, 4, 8} {
+		d, err := sim.CompileGraph(g, sim.WithKernel(sim.PSU), sim.WithPartitions(parts))
+		if err != nil {
+			return err
+		}
+		st, _ := d.PartitionStats()
+		s := d.NewSession()
+		nIn := len(d.Inputs())
+		rng := rand.New(rand.NewSource(1))
+		start := time.Now()
+		for i := 0; i < cycles; i++ {
+			for j := 0; j < nIn; j++ {
+				s.PokeIndex(j, rng.Uint64())
+			}
+			if err := s.Step(); err != nil {
+				return err
+			}
+		}
+		el := time.Since(start)
+		s.Close()
+		rate := float64(cycles) / el.Seconds()
+		if parts == 1 {
+			base = rate
+		}
+		fmt.Printf("  %-6d %-12.0f %-10.2f %-12.2f %-8d %d/%d\n",
+			st.Partitions, rate, rate/base, st.ReplicationFactor, st.CutSize,
+			st.MaxPartitionOps, st.MinPartitionOps)
+	}
 	return nil
 }
 

@@ -26,6 +26,7 @@ func main() {
 
 func run() error {
 	kernelName := flag.String("kernel", "PSU", "kernel configuration (RU|OU|NU|PSU|IU|SU|TI)")
+	partitions := flag.Int("partitions", 1, "RepCut partition count (threads); 1 = single-threaded")
 	cycles := flag.Int64("cycles", 100, "cycles to simulate")
 	seed := flag.Int64("seed", 1, "random stimulus seed")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform to this file")
@@ -55,6 +56,11 @@ func run() error {
 	if *vcdPath != "" {
 		opts = append(opts, sim.WithWaveform())
 	}
+	if *partitions != 1 {
+		// Pass invalid counts through too, so they error at compile
+		// instead of silently simulating single-threaded.
+		opts = append(opts, sim.WithPartitions(*partitions))
+	}
 	design, err := sim.Compile(string(src), opts...)
 	if err != nil {
 		return err
@@ -65,6 +71,10 @@ func run() error {
 		st.Design, st.Ops, st.Layers, st.Slots, st.Registers, st.Density)
 	fmt.Printf("identity ops before elision: %d (%.1fx effectual)\n",
 		st.IdentityOps, float64(st.IdentityOps)/float64(max(st.EffectualOps, 1)))
+	if ps, ok := design.PartitionStats(); ok {
+		fmt.Printf("partitions: %d (requested %d), replication %.2fx, cut %d registers/cycle\n",
+			ps.Partitions, ps.Requested, ps.ReplicationFactor, ps.CutSize)
+	}
 
 	if *dumpOIM {
 		return design.WriteOIM(os.Stdout)

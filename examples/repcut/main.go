@@ -1,26 +1,25 @@
-// RepCut: partition a synthesised SoC across goroutines with
-// replication-aided cuts (Cascade 2) and compare wall-clock throughput and
-// state equivalence against single-threaded simulation through the public
-// sim package.
+// RepCut: partition a synthesised SoC across persistent worker goroutines
+// with replication-aided cuts (Cascade 2) through the public sim package —
+// sim.WithPartitions — and compare wall-clock throughput and state
+// equivalence against single-threaded simulation of the same design.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"slices"
 	"time"
 
 	"rteaal/internal/bench"
 	"rteaal/internal/gen"
-	"rteaal/internal/kernel"
-	"rteaal/internal/repcut"
 	"rteaal/sim"
 )
 
 const cycles = 200
 
 func main() {
-	g, tensor, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: 16})
+	g, _, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,46 +31,34 @@ func main() {
 	nIn := st.Inputs
 	fmt.Printf("design r1/16: %d ops, %d registers\n", st.Ops, st.Registers)
 
-	ref := design.NewSession()
-	stim := rand.New(rand.NewSource(7))
-	start := time.Now()
-	for c := 0; c < cycles; c++ {
-		for i := 0; i < nIn; i++ {
-			ref.PokeIndex(i, stim.Uint64())
+	run := func(s *sim.Session) time.Duration {
+		stim := rand.New(rand.NewSource(7))
+		start := time.Now()
+		for c := 0; c < cycles; c++ {
+			for i := 0; i < nIn; i++ {
+				s.PokeIndex(i, stim.Uint64())
+			}
+			if err := s.Step(); err != nil {
+				log.Fatal(err)
+			}
 		}
-		if err := ref.Step(); err != nil {
-			log.Fatal(err)
-		}
+		return time.Since(start)
 	}
-	fmt.Printf("sequential PSU: %8v for %d cycles\n", time.Since(start), cycles)
+
+	ref := design.NewSession()
+	fmt.Printf("sequential PSU: %8v for %d cycles\n", run(ref), cycles)
 
 	for _, parts := range []int{2, 4, 8} {
-		pc, err := repcut.New(tensor, parts, kernel.PSU)
+		pd, err := sim.CompileGraph(g, sim.WithKernel(sim.PSU), sim.WithPartitions(parts))
 		if err != nil {
 			log.Fatal(err)
 		}
-		stim := rand.New(rand.NewSource(7))
-		start = time.Now()
-		for c := 0; c < cycles; c++ {
-			for i := 0; i < nIn; i++ {
-				pc.PokeInput(i, stim.Uint64())
-			}
-			pc.Step()
-		}
-		elapsed := time.Since(start)
-		fmt.Printf("repcut %d parts: %8v, replication %.2fx, state match: %v\n",
-			parts, elapsed, pc.ReplicationFactor, equal(ref.Registers(), pc.RegSnapshot()))
+		ps, _ := pd.PartitionStats()
+		s := pd.NewSession()
+		elapsed := run(s)
+		fmt.Printf("repcut %d parts: %8v, replication %.2fx, cut %d, state match: %v\n",
+			parts, elapsed, ps.ReplicationFactor, ps.CutSize,
+			slices.Equal(ref.Registers(), s.Registers()))
+		s.Close()
 	}
-}
-
-func equal(a, b []uint64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

@@ -162,12 +162,21 @@ func TestFullPipelineOnGeneratedDesign(t *testing.T) {
 		check(style.String(), tr)
 	}
 
-	// RepCut with 3 partitions.
+	// RepCut with 3 partitions, through the plan → lower → instantiate split.
 	{
-		pc, err := repcut.New(ten, 3, kernel.PSU)
+		plan, err := repcut.NewPlan(ten, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
+		progs, err := plan.Lower(kernel.Config{Kind: kernel.PSU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := plan.Instantiate(progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pc.Close()
 		rng := rand.New(rand.NewSource(11))
 		var tr []uint64
 		for c := 0; c < cycles; c++ {

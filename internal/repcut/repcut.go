@@ -5,11 +5,24 @@
 // compute their next states, eliminating intra-cycle communication. At the
 // end of every cycle a synchronisation step, described by the RUM (Register
 // Update Map) tensor of Cascade 2, propagates each register's committed
-// value to the partitions that read it.
+// value to exactly the partitions whose cones read it (the differential
+// exchange of Box 1).
+//
+// The package mirrors the compile-once architecture of internal/kernel:
+//
+//   - [NewPlan] partitions a design once, kernel-independently: ownership,
+//     cone marking, per-partition sub-tensors, and the reader-indexed RUM.
+//   - [Plan.Lower] lowers the sub-tensors into shareable [kernel.Program]s
+//     for one kernel configuration — also once.
+//   - [Plan.Instantiate] mints any number of runnable [Instance]s over
+//     those programs. Each instance owns only mutable state plus one
+//     persistent worker goroutine per partition, so instances are cheap and
+//     may run concurrently.
 package repcut
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"rteaal/internal/dfg"
@@ -17,42 +30,80 @@ import (
 	"rteaal/internal/oim"
 )
 
-// Partitioned is a parallel simulator over one design.
-type Partitioned struct {
-	t       *oim.Tensor
-	engines []kernel.Engine
-	// rum[p] lists, for partition p's owned registers, the (Q slot, reader
-	// partition) pairs to propagate after commit: the RUM tensor lowered
-	// to adjacency form.
-	rum [][]rumEntry
+// Plan is the immutable, kernel-independent partitioning of one design:
+// which partition owns each register and output, the replicated
+// combinational cone of every partition as a sub-tensor, and the
+// reader-indexed RUM describing the end-of-cycle exchange. A plan is built
+// once per design and shared read-only by every instance.
+type Plan struct {
+	t    *oim.Tensor
+	subs []*oim.Tensor
 	// ownedRegs[p] indexes t.RegSlots owned by partition p.
 	ownedRegs [][]int
-	// ReplicationFactor is total replicated ops over design ops.
-	ReplicationFactor float64
-
-	outs     []uint64
+	// regOwner[ri] is the partition owning register ri.
+	regOwner []int
+	// outOwner[oi] is the partition that samples output oi.
 	outOwner []int
+	// readers[ri] lists the partitions (other than the owner) whose cones
+	// read register ri's Q coordinate — the differential exchange.
+	readers [][]int
+	// rum[p] lists the (Q slot, source partition) pairs partition p pulls
+	// after every commit: the RUM tensor lowered to reader-indexed
+	// adjacency, so each worker performs its own pulls in parallel.
+	rum [][]rumEntry
+	// slotAuth[slot] is a partition whose LI holds an authoritative value
+	// for the coordinate: the owner for register Q/next slots, the sampling
+	// owner for output slots, and partition 0 for broadcast inputs.
+	slotAuth []int
+
+	stats PlanStats
 }
 
 type rumEntry struct {
-	q      int32
-	reader int
+	q   int32
+	src int
 }
 
-// New partitions the design into n parts and builds one kernel engine per
-// part. Registers are distributed round-robin; each partition's tensor
-// contains exactly the cone of operations its registers and assigned
-// outputs need (replication-aided partitioning: shared logic is copied).
-func New(t *oim.Tensor, n int, kind kernel.Kind) (*Partitioned, error) {
+// PlanStats summarises a partition plan: the replication the cuts cost and
+// the cut size the differential exchange pays every cycle.
+type PlanStats struct {
+	// Partitions is the actual partition count; Requested is what the
+	// caller asked for before clamping to the register count.
+	Partitions, Requested int
+	// TotalOps counts operations in the unpartitioned design;
+	// ReplicatedOps counts operations across all partition cones.
+	TotalOps, ReplicatedOps int
+	// ReplicationFactor is ReplicatedOps over TotalOps (1.0 = no sharing).
+	ReplicationFactor float64
+	// CutSize counts register→reader edges crossing partitions: the number
+	// of occupied RUM points exchanged after every commit.
+	CutSize int
+	// MaxPartitionOps and MinPartitionOps measure cone load balance.
+	MaxPartitionOps, MinPartitionOps int
+}
+
+// NewPlan partitions the design into n parts. Registers and outputs are
+// distributed round-robin; each partition's sub-tensor contains exactly the
+// cone of operations its registers and assigned outputs need
+// (replication-aided partitioning: shared logic is copied). A request for
+// more partitions than registers is clamped — empty partitions would spin
+// workers with no work — so the effective count is reported by
+// [Plan.Partitions] and [PlanStats.Partitions].
+func NewPlan(t *oim.Tensor, n int) (*Plan, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("repcut: need at least one partition")
+		return nil, fmt.Errorf("repcut: need at least one partition, got %d", n)
 	}
-	p := &Partitioned{
+	requested := n
+	n = min(n, max(len(t.RegSlots), 1))
+
+	p := &Plan{
 		t:         t,
-		rum:       make([][]rumEntry, n),
 		ownedRegs: make([][]int, n),
-		outs:      make([]uint64, len(t.OutputSlots)),
+		regOwner:  make([]int, len(t.RegSlots)),
 		outOwner:  make([]int, len(t.OutputSlots)),
+		readers:   make([][]int, len(t.RegSlots)),
+		rum:       make([][]rumEntry, n),
+		slotAuth:  make([]int, t.NumSlots),
 	}
 
 	// producers: slot -> (layer, index) for op outputs.
@@ -66,17 +117,19 @@ func New(t *oim.Tensor, n int, kind kernel.Kind) (*Partitioned, error) {
 
 	// Ownership.
 	for i := range t.RegSlots {
+		p.regOwner[i] = i % n
 		p.ownedRegs[i%n] = append(p.ownedRegs[i%n], i)
 	}
-	for i := range t.OutputSlots {
+	for i, slot := range t.OutputSlots {
 		p.outOwner[i] = i % n
+		p.slotAuth[slot] = i % n
 	}
 
-	// Per-partition cone marking.
-	totalOps := t.TotalOps()
-	var replicated int
+	// Per-partition cone marking and sub-tensor construction.
+	needs := make([]map[int32]bool, n)
 	for part := 0; part < n; part++ {
 		need := make(map[int32]bool)
+		needs[part] = need
 		var stack []int32
 		want := func(slot int32) {
 			if !need[slot] {
@@ -116,25 +169,15 @@ func New(t *oim.Tensor, n int, kind kernel.Kind) (*Partitioned, error) {
 			InputNames:  t.InputNames,
 			OutputNames: t.OutputNames,
 		}
-		owned := make(map[int]bool)
 		for _, ri := range p.ownedRegs[part] {
 			sub.RegSlots = append(sub.RegSlots, t.RegSlots[ri])
-			owned[ri] = true
 		}
-		// Foreign registers are read-only state refreshed by the RUM sync;
-		// their initial values must still be preloaded at reset.
 		sub.ConstSlots = append([]dfg.SlotInit(nil), t.ConstSlots...)
-		for ri, r := range t.RegSlots {
-			if !owned[ri] {
-				sub.ConstSlots = append(sub.ConstSlots, dfg.SlotInit{Slot: r.Q, Value: r.Init})
-			}
-		}
 		for _, layer := range t.Layers {
 			var ops []oim.Op
 			for _, op := range layer {
 				if need[op.Out] {
 					ops = append(ops, op)
-					replicated++
 				}
 			}
 			if len(ops) > 0 || len(sub.Layers) > 0 {
@@ -145,78 +188,295 @@ func New(t *oim.Tensor, n int, kind kernel.Kind) (*Partitioned, error) {
 		for len(sub.Layers) > 0 && len(sub.Layers[len(sub.Layers)-1]) == 0 {
 			sub.Layers = sub.Layers[:len(sub.Layers)-1]
 		}
-		eng, err := kernel.New(sub, kernel.Config{Kind: kind})
-		if err != nil {
-			return nil, fmt.Errorf("repcut: partition %d: %w", part, err)
-		}
-		p.engines = append(p.engines, eng)
-	}
-	if totalOps > 0 {
-		p.ReplicationFactor = float64(replicated) / float64(totalOps)
-	} else {
-		p.ReplicationFactor = 1
+		p.subs = append(p.subs, sub)
 	}
 
-	// RUM: each owned register propagates to every other partition (a
-	// register is a source every cone may read; propagating to actual
-	// readers only is the differential-exchange optimisation, Box 1).
-	for part := 0; part < n; part++ {
-		for _, ri := range p.ownedRegs[part] {
-			q := p.t.RegSlots[ri].Q
-			for other := 0; other < n; other++ {
-				if other != part {
-					p.rum[part] = append(p.rum[part], rumEntry{q: q, reader: other})
-				}
+	// Differential RUM (Box 1): register ri propagates only to the
+	// partitions whose cones actually read its Q coordinate, indexed by
+	// reader so each worker drains its own pull list. Foreign registers a
+	// cone reads are read-only state refreshed by the exchange; their
+	// initial values are preloaded at reset via ConstSlots.
+	for ri, r := range t.RegSlots {
+		owner := p.regOwner[ri]
+		p.slotAuth[r.Q], p.slotAuth[r.Next] = owner, owner
+		for part := 0; part < n; part++ {
+			if part == owner || !needs[part][r.Q] {
+				continue
 			}
+			p.readers[ri] = append(p.readers[ri], part)
+			p.rum[part] = append(p.rum[part], rumEntry{q: r.Q, src: owner})
+			p.subs[part].ConstSlots = append(p.subs[part].ConstSlots,
+				dfg.SlotInit{Slot: r.Q, Value: r.Init})
 		}
+	}
+
+	// Stats.
+	p.stats = PlanStats{
+		Partitions:      n,
+		Requested:       requested,
+		TotalOps:        t.TotalOps(),
+		MinPartitionOps: p.subs[0].TotalOps(),
+	}
+	for _, sub := range p.subs {
+		ops := sub.TotalOps()
+		p.stats.ReplicatedOps += ops
+		p.stats.MaxPartitionOps = max(p.stats.MaxPartitionOps, ops)
+		p.stats.MinPartitionOps = min(p.stats.MinPartitionOps, ops)
+	}
+	if p.stats.TotalOps > 0 {
+		p.stats.ReplicationFactor = float64(p.stats.ReplicatedOps) / float64(p.stats.TotalOps)
+	} else {
+		p.stats.ReplicationFactor = 1
+	}
+	for _, rs := range p.readers {
+		p.stats.CutSize += len(rs)
 	}
 	return p, nil
 }
 
-// Partitions returns the partition count.
-func (p *Partitioned) Partitions() int { return len(p.engines) }
+// Partitions returns the effective partition count after clamping.
+func (p *Plan) Partitions() int { return len(p.subs) }
+
+// Stats reports the plan's replication and cut figures.
+func (p *Plan) Stats() PlanStats { return p.stats }
+
+// Tensor returns the unpartitioned design tensor. Read-only.
+func (p *Plan) Tensor() *oim.Tensor { return p.t }
+
+// SubTensors returns the per-partition cone tensors. Read-only.
+func (p *Plan) SubTensors() []*oim.Tensor { return p.subs }
+
+// RegOwner reports the partition owning register ri (t.RegSlots order).
+func (p *Plan) RegOwner(ri int) int { return p.regOwner[ri] }
+
+// RegReaders reports the partitions, other than the owner, whose cones read
+// register ri — exactly the destinations the RUM exchange updates.
+func (p *Plan) RegReaders(ri int) []int {
+	return append([]int(nil), p.readers[ri]...)
+}
+
+// Lower builds one shareable [kernel.Program] per partition for the given
+// kernel configuration. Lowering happens once; the resulting programs back
+// any number of instances via [Plan.Instantiate].
+func (p *Plan) Lower(cfg kernel.Config) ([]*kernel.Program, error) {
+	progs := make([]*kernel.Program, len(p.subs))
+	for i, sub := range p.subs {
+		prog, err := kernel.NewProgram(sub, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("repcut: partition %d: %w", i, err)
+		}
+		progs[i] = prog
+	}
+	return progs, nil
+}
+
+// workerCmd is one phase of the cycle protocol driven over each worker's
+// command channel.
+type workerCmd uint8
+
+const (
+	cmdStep     workerCmd = iota // settle + commit the partition
+	cmdSettle                    // combinational evaluation only
+	cmdExchange                  // pull foreign committed registers (RUM)
+)
+
+// Instance is one runnable partitioned simulation. It implements
+// [kernel.Engine], so it is a drop-in for a single-partition engine
+// wherever one is expected. For more than one partition the instance owns a
+// persistent worker goroutine per partition, driven over command channels
+// with a cycle barrier; the goroutines stop when [Instance.Close] is called
+// or the instance is garbage-collected.
+type Instance struct {
+	*instance
+}
+
+// instance carries everything the workers reference. Keeping it separate
+// from the exported wrapper lets a finalizer on [Instance] stop the workers
+// once user code drops the instance: the goroutines only reach the inner
+// struct, so they never keep the outer one alive.
+type instance struct {
+	plan    *Plan
+	kind    kernel.Kind
+	engines []kernel.Engine
+	outs    []uint64
+	cmds    []chan workerCmd
+	done    chan struct{}
+	stop    sync.Once
+}
+
+// Instantiate mints a runnable instance over programs previously built by
+// [Plan.Lower] on this same plan. Instances are independent: each owns its
+// engines' mutable state, so distinct instances may run concurrently.
+func (p *Plan) Instantiate(progs []*kernel.Program) (*Instance, error) {
+	if len(progs) != len(p.subs) {
+		return nil, fmt.Errorf("repcut: got %d programs for %d partitions", len(progs), len(p.subs))
+	}
+	in := &instance{
+		plan:    p,
+		kind:    progs[0].Kind(),
+		engines: make([]kernel.Engine, len(progs)),
+		outs:    make([]uint64, len(p.t.OutputSlots)),
+	}
+	for i, prog := range progs {
+		if prog.Tensor() != p.subs[i] {
+			return nil, fmt.Errorf("repcut: program %d was not lowered from this plan", i)
+		}
+		in.engines[i] = prog.Instantiate()
+	}
+	if len(in.engines) > 1 {
+		in.done = make(chan struct{}, len(in.engines))
+		in.cmds = make([]chan workerCmd, len(in.engines))
+		for i := range in.engines {
+			in.cmds[i] = make(chan workerCmd, 1)
+			go in.worker(i, in.cmds[i])
+		}
+	}
+	out := &Instance{in}
+	runtime.SetFinalizer(out, func(o *Instance) { o.instance.stopWorkers() })
+	return out, nil
+}
+
+// Close stops the instance's worker goroutines. Optional — an unreachable
+// instance is cleaned up by the garbage collector — but deterministic. The
+// instance must not be used afterwards.
+func (in *Instance) Close() {
+	in.instance.stopWorkers()
+	runtime.SetFinalizer(in, nil)
+}
+
+// Step and Settle are defined on the outer wrapper, not promoted: the
+// receiver plus the trailing KeepAlive hold the *Instance reachable for the
+// whole call, so the finalizer cannot close the worker channels while a
+// broadcast is in flight (the promoted form would only keep the inner
+// struct alive).
+
+// Step runs one cycle: parallel settle+commit in every partition, then the
+// parallel RUM synchronisation step (the final einsum of Cascade 2).
+func (in *Instance) Step() {
+	in.instance.step()
+	runtime.KeepAlive(in)
+}
+
+// Settle performs one combinational evaluation in every partition without
+// committing registers, refreshing the sampled outputs.
+func (in *Instance) Settle() {
+	in.instance.settle()
+	runtime.KeepAlive(in)
+}
+
+func (in *instance) stopWorkers() {
+	in.stop.Do(func() {
+		for _, c := range in.cmds {
+			close(c)
+		}
+	})
+}
+
+// worker is the persistent loop of one partition. During cmdExchange the
+// worker writes only foreign-register slots of its own engine and reads
+// only owner-committed slots of other engines, so concurrent exchange
+// phases touch disjoint memory; the channel barrier orders them after every
+// partition's commit.
+func (in *instance) worker(part int, cmds <-chan workerCmd) {
+	eng := in.engines[part]
+	for c := range cmds {
+		switch c {
+		case cmdStep:
+			eng.Step()
+		case cmdSettle:
+			eng.Settle()
+		case cmdExchange:
+			for _, e := range in.plan.rum[part] {
+				eng.PokeSlot(e.q, in.engines[e.src].PeekSlot(e.q))
+			}
+		}
+		in.done <- struct{}{}
+	}
+}
+
+// broadcast issues one command to every worker and waits for the barrier.
+func (in *instance) broadcast(c workerCmd) {
+	for _, w := range in.cmds {
+		w <- c
+	}
+	for range in.cmds {
+		<-in.done
+	}
+}
+
+// sample gathers each output from the partition that owns its cone.
+func (in *instance) sample() {
+	for i, owner := range in.plan.outOwner {
+		in.outs[i] = in.engines[owner].PeekOutput(i)
+	}
+}
+
+// Name identifies the kernel configuration and partition count.
+func (in *instance) Name() string {
+	return fmt.Sprintf("%s×%d", in.kind, len(in.engines))
+}
+
+func (in *instance) step() {
+	if len(in.engines) == 1 {
+		in.engines[0].Step()
+	} else {
+		in.broadcast(cmdStep)
+		in.broadcast(cmdExchange)
+	}
+	in.sample()
+}
+
+func (in *instance) settle() {
+	if len(in.engines) == 1 {
+		in.engines[0].Settle()
+	} else {
+		in.broadcast(cmdSettle)
+	}
+	in.sample()
+}
+
+// Reset restores every partition. Safe between cycles: workers are parked
+// on their command channels whenever no Step or Settle is in flight.
+func (in *instance) Reset() {
+	for _, e := range in.engines {
+		e.Reset()
+	}
+	for i := range in.outs {
+		in.outs[i] = 0
+	}
+}
 
 // PokeInput broadcasts a primary input to every partition.
-func (p *Partitioned) PokeInput(idx int, v uint64) {
-	for _, e := range p.engines {
+func (in *instance) PokeInput(idx int, v uint64) {
+	for _, e := range in.engines {
 		e.PokeInput(idx, v)
 	}
 }
 
-// Step runs one cycle: parallel settle+commit in every partition, then the
-// RUM synchronisation step (the final einsum of Cascade 2).
-func (p *Partitioned) Step() {
-	var wg sync.WaitGroup
-	for _, e := range p.engines {
-		wg.Add(1)
-		go func(e kernel.Engine) {
-			defer wg.Done()
-			e.Step()
-		}(e)
-	}
-	wg.Wait()
-	// Sample outputs from their owning partitions (pre-commit samples are
-	// stored inside each engine).
-	for i := range p.outs {
-		p.outs[i] = p.engines[p.outOwner[i]].PeekOutput(i)
-	}
-	// Synchronisation: LI[c+1] = LI[c,I] · RUM (Cascade 2's final einsum).
-	for part, entries := range p.rum {
-		src := p.engines[part]
-		for _, e := range entries {
-			p.engines[e.reader].PokeSlot(e.q, src.PeekSlot(e.q))
-		}
+// PeekOutput reads a primary output sampled at the last Step or Settle.
+func (in *instance) PeekOutput(idx int) uint64 { return in.outs[idx] }
+
+// PeekSlot reads an LI coordinate from a partition holding an authoritative
+// value: the owner for register coordinates, the sampling owner for output
+// coordinates. Other interior coordinates are only guaranteed fresh in
+// partitions whose cones compute them.
+func (in *instance) PeekSlot(slot int32) uint64 {
+	return in.engines[in.plan.slotAuth[slot]].PeekSlot(slot)
+}
+
+// PokeSlot broadcasts an LI coordinate write to every partition (host-DUT
+// communication, §6.2), mirroring the input broadcast.
+func (in *instance) PokeSlot(slot int32, v uint64) {
+	for _, e := range in.engines {
+		e.PokeSlot(slot, v)
 	}
 }
 
-// PeekOutput reads a primary output sampled at the last Step.
-func (p *Partitioned) PeekOutput(idx int) uint64 { return p.outs[idx] }
-
 // RegSnapshot reassembles the full register state in t.RegSlots order.
-func (p *Partitioned) RegSnapshot() []uint64 {
-	out := make([]uint64, len(p.t.RegSlots))
-	for part, regs := range p.ownedRegs {
-		snap := p.engines[part].RegSnapshot()
+func (in *instance) RegSnapshot() []uint64 {
+	out := make([]uint64, len(in.plan.t.RegSlots))
+	for part, regs := range in.plan.ownedRegs {
+		snap := in.engines[part].RegSnapshot()
 		for i, ri := range regs {
 			out[ri] = snap[i]
 		}
@@ -224,9 +484,8 @@ func (p *Partitioned) RegSnapshot() []uint64 {
 	return out
 }
 
-// Reset restores every partition.
-func (p *Partitioned) Reset() {
-	for _, e := range p.engines {
-		e.Reset()
-	}
-}
+// Tensor returns the unpartitioned design tensor.
+func (in *instance) Tensor() *oim.Tensor { return in.plan.t }
+
+// Partitions returns the partition count.
+func (in *instance) Partitions() int { return len(in.engines) }

@@ -2,11 +2,13 @@ package repcut
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"rteaal/internal/dfg"
 	"rteaal/internal/kernel"
 	"rteaal/internal/oim"
+	"rteaal/internal/wire"
 )
 
 func build(t *testing.T, g *dfg.Graph) *oim.Tensor {
@@ -20,6 +22,25 @@ func build(t *testing.T, g *dfg.Graph) *oim.Tensor {
 		t.Fatal(err)
 	}
 	return ten
+}
+
+// instantiate runs the full plan → lower → instantiate path.
+func instantiate(t *testing.T, ten *oim.Tensor, parts int, kind kernel.Kind) (*Plan, *Instance) {
+	t.Helper()
+	plan, err := NewPlan(ten, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := plan.Lower(kernel.Config{Kind: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := plan.Instantiate(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Close)
+	return plan, inst
 }
 
 // TestRepCutMatchesSequential is the headline property: partitioned
@@ -40,10 +61,7 @@ func TestRepCutMatchesSequential(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, parts := range []int{1, 2, 3, 4} {
-			pc, err := New(ten, parts, kernel.PSU)
-			if err != nil {
-				t.Fatal(err)
-			}
+			plan, pc := instantiate(t, ten, parts, kernel.PSU)
 			if pc.Partitions() != parts {
 				t.Fatalf("partitions = %d", pc.Partitions())
 			}
@@ -72,10 +90,67 @@ func TestRepCutMatchesSequential(t *testing.T) {
 				}
 			}
 			pc.Reset()
-			if pc.ReplicationFactor < 1.0 && ten.TotalOps() > 0 && parts > 1 {
-				t.Fatalf("replication factor %.2f < 1", pc.ReplicationFactor)
+			st := plan.Stats()
+			if st.ReplicationFactor < 1.0 && ten.TotalOps() > 0 && parts > 1 {
+				t.Fatalf("replication factor %.2f < 1", st.ReplicationFactor)
 			}
 		}
+	}
+}
+
+// TestInstancesShareAPlan proves the compile-once split: one plan lowered
+// once backs several concurrently stepped instances with no shared state.
+func TestInstancesShareAPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := dfg.RandomGraph(rng, dfg.DefaultRandomParams())
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten := build(t, opt)
+	plan, err := NewPlan(ten, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := plan.Lower(kernel.Config{Kind: kernel.TI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Instance {
+		in, err := plan.Instantiate(progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(in.Close)
+		return in
+	}
+	a, b := mk(), mk()
+	done := make(chan []uint64, 2)
+	for seed, in := range map[int64]*Instance{1: a, 2: b} {
+		go func(seed int64, in *Instance) {
+			stim := rand.New(rand.NewSource(seed))
+			for cyc := 0; cyc < 20; cyc++ {
+				for i := range ten.InputSlots {
+					in.PokeInput(i, stim.Uint64())
+				}
+				in.Step()
+			}
+			done <- in.RegSnapshot()
+		}(seed, in)
+	}
+	<-done
+	<-done
+	// Replaying instance a's stimulus on a fresh instance must reproduce it.
+	c := mk()
+	stim := rand.New(rand.NewSource(1))
+	for cyc := 0; cyc < 20; cyc++ {
+		for i := range ten.InputSlots {
+			c.PokeInput(i, stim.Uint64())
+		}
+		c.Step()
+	}
+	if !slices.Equal(a.RegSnapshot(), c.RegSnapshot()) {
+		t.Fatal("two instances of one plan interfered with each other")
 	}
 }
 
@@ -92,15 +167,22 @@ func TestReplicationGrowsWithPartitions(t *testing.T) {
 	ten := build(t, opt)
 	prev := 0.0
 	for _, parts := range []int{1, 2, 4, 8} {
-		pc, err := New(ten, parts, kernel.NU)
+		plan, err := NewPlan(ten, parts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if pc.ReplicationFactor < prev {
+		st := plan.Stats()
+		if st.ReplicationFactor < prev {
 			t.Fatalf("replication factor decreased: %f -> %f at %d parts",
-				prev, pc.ReplicationFactor, parts)
+				prev, st.ReplicationFactor, parts)
 		}
-		prev = pc.ReplicationFactor
+		if st.ReplicatedOps < st.TotalOps && parts == 1 {
+			t.Fatalf("1-way plan dropped ops: %d < %d", st.ReplicatedOps, st.TotalOps)
+		}
+		if st.MinPartitionOps > st.MaxPartitionOps {
+			t.Fatalf("min ops %d > max ops %d", st.MinPartitionOps, st.MaxPartitionOps)
+		}
+		prev = st.ReplicationFactor
 	}
 	if prev <= 1.0 {
 		t.Fatalf("8-way partitioning should replicate some logic, factor=%f", prev)
@@ -111,7 +193,175 @@ func TestRejectsZeroPartitions(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	g := dfg.RandomGraph(rng, dfg.DefaultRandomParams())
 	ten := build(t, g)
-	if _, err := New(ten, 0, kernel.PSU); err == nil {
+	if _, err := NewPlan(ten, 0); err == nil {
 		t.Fatal("want error for zero partitions")
+	}
+	if _, err := NewPlan(ten, -3); err == nil {
+		t.Fatal("want error for negative partitions")
+	}
+}
+
+// TestClampsPartitionsToRegisters: asking for more partitions than there
+// are registers must not build empty partitions that spin workers with no
+// work — the count is clamped and reported.
+func TestClampsPartitionsToRegisters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := dfg.RandomGraph(rng, dfg.RandomParams{
+		Inputs: 3, Regs: 3, Ops: 40, Consts: 2, MaxWidth: 8})
+	ten := build(t, g)
+	nRegs := len(ten.RegSlots)
+	if nRegs == 0 {
+		t.Skip("generator produced no registers")
+	}
+	plan, err := NewPlan(ten, nRegs+5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := plan.Stats()
+	if plan.Partitions() != nRegs || st.Partitions != nRegs {
+		t.Fatalf("partitions = %d, want clamp to %d registers", plan.Partitions(), nRegs)
+	}
+	if st.Requested != nRegs+5 {
+		t.Fatalf("requested = %d, want %d", st.Requested, nRegs+5)
+	}
+	for part, sub := range plan.SubTensors() {
+		if len(sub.RegSlots) == 0 {
+			t.Fatalf("partition %d owns no registers", part)
+		}
+	}
+}
+
+// splitGraph builds two fully independent register chains so partition 0
+// (reg a, output oa) and partition 1 (reg b, output ob) share nothing. If
+// coupled, reg b additionally reads reg a.
+func splitGraph(coupled bool) *dfg.Graph {
+	g := &dfg.Graph{Name: "split"}
+	in0 := g.AddInput("in0", 8)
+	in1 := g.AddInput("in1", 8)
+	ra := g.AddReg("ra", 8, 1)
+	rb := g.AddReg("rb", 8, 2)
+	g.SetRegNext(ra, g.AddOp(wire.Add, 8, ra, in0))
+	if coupled {
+		g.SetRegNext(rb, g.AddOp(wire.Add, 8, rb, ra))
+	} else {
+		g.SetRegNext(rb, g.AddOp(wire.Add, 8, rb, in1))
+	}
+	g.AddOutput("oa", ra)
+	g.AddOutput("ob", rb)
+	return g
+}
+
+// TestDifferentialRUMReaderLists is the Box 1 property, checked exactly on
+// a handcrafted design: a register is propagated to a partition if and only
+// if that partition's cone reads it.
+func TestDifferentialRUMReaderLists(t *testing.T) {
+	// Independent halves: no register crosses the cut at all.
+	plan, err := NewPlan(build(t, splitGraph(false)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range plan.Tensor().RegSlots {
+		if rs := plan.RegReaders(ri); len(rs) != 0 {
+			t.Fatalf("independent design: reg %d has readers %v, want none", ri, rs)
+		}
+	}
+	if st := plan.Stats(); st.CutSize != 0 {
+		t.Fatalf("independent design: cut size %d, want 0", st.CutSize)
+	}
+
+	// Coupled: partition 1 (owner of rb) reads ra, and nothing else crosses.
+	plan, err = NewPlan(build(t, splitGraph(true)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.RegReaders(0); !slices.Equal(got, []int{1}) {
+		t.Fatalf("readers(ra) = %v, want [1]", got)
+	}
+	if got := plan.RegReaders(1); len(got) != 0 {
+		t.Fatalf("readers(rb) = %v, want none", got)
+	}
+	if st := plan.Stats(); st.CutSize != 1 {
+		t.Fatalf("coupled design: cut size %d, want 1", st.CutSize)
+	}
+}
+
+// TestRUMReadersMatchConeMembership checks the same property as an
+// invariant over random designs: for every register and partition, the
+// partition appears in the reader list exactly when its sub-tensor
+// references the register's Q coordinate (as an operand, a committed
+// next-state source, or a sampled output).
+func TestRUMReadersMatchConeMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		g := dfg.RandomGraph(rng, dfg.RandomParams{
+			Inputs: 4, Regs: 10, Ops: 150, Consts: 4, MaxWidth: 16, MuxBias: 0.3})
+		opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ten := build(t, opt)
+		plan, err := NewPlan(ten, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for part, sub := range plan.SubTensors() {
+			refs := make(map[int32]bool)
+			for _, layer := range sub.Layers {
+				for _, op := range layer {
+					for _, a := range op.Args {
+						refs[a] = true
+					}
+				}
+			}
+			for _, r := range sub.RegSlots {
+				refs[r.Next] = true
+			}
+			for oi, slot := range sub.OutputSlots {
+				if oi%plan.Partitions() == part {
+					refs[slot] = true
+				}
+			}
+			for ri, r := range ten.RegSlots {
+				isReader := slices.Contains(plan.RegReaders(ri), part)
+				reads := refs[r.Q]
+				if part == plan.RegOwner(ri) {
+					if isReader {
+						t.Fatalf("trial %d: owner %d listed as reader of reg %d", trial, part, ri)
+					}
+					continue
+				}
+				if isReader != reads {
+					t.Fatalf("trial %d: partition %d reader=%v but cone-reads=%v for reg %d",
+						trial, part, isReader, reads, ri)
+				}
+			}
+		}
+	}
+}
+
+// TestInstantiateRejectsForeignPrograms guards the plan/program pairing.
+func TestInstantiateRejectsForeignPrograms(t *testing.T) {
+	ten := build(t, splitGraph(true))
+	plan, err := NewPlan(ten, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := plan.Lower(kernel.Config{Kind: kernel.PSU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Instantiate(progs[:1]); err == nil {
+		t.Fatal("short program list accepted")
+	}
+	other, err := NewPlan(ten, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherProgs, err := other.Lower(kernel.Config{Kind: kernel.PSU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Instantiate(otherProgs); err == nil {
+		t.Fatal("programs from a different plan accepted")
 	}
 }

@@ -1,12 +1,15 @@
 package sim
 
 import (
+	"fmt"
 	"io"
+	"sync"
 
 	"rteaal/internal/dfg"
 	"rteaal/internal/firrtl"
 	"rteaal/internal/kernel"
 	"rteaal/internal/oim"
+	"rteaal/internal/repcut"
 )
 
 // config is the resolved compilation configuration an option list produces.
@@ -15,6 +18,7 @@ type config struct {
 	passes      OptPasses
 	waveform    bool
 	unoptFormat bool
+	partitions  int // 0 = unpartitioned
 }
 
 // Option configures compilation. Options are applied in order; later options
@@ -46,6 +50,28 @@ func WithUnoptimizedFormat() Option {
 	return func(c *config) { c.unoptFormat = true }
 }
 
+// WithPartitions compiles the design for RepCut-style partitioned
+// simulation (§8, Cascade 2): registers are split across n partitions, each
+// replicating the combinational cone its next-states need, and every
+// session minted by the design runs one persistent worker goroutine per
+// partition with a differential register exchange at each cycle boundary.
+// The partition plan and per-partition kernel programs are built once at
+// compile time; sessions stay cheap. Partitioned sessions serve the same
+// [Session] surface — including [Pool] checkout — and produce traces
+// bit-identical to unpartitioned sessions.
+//
+// A request exceeding the register count is clamped; [Design.PartitionStats]
+// reports the effective count, replication factor, and cut size. n < 1 is a
+// compile error.
+func WithPartitions(n int) Option {
+	return func(c *config) {
+		c.partitions = n
+		if n < 1 {
+			c.partitions = -1 // distinguishable from the unset default; rejected at compile
+		}
+	}
+}
+
 // Design is an immutable compiled design: the optimized dataflow graph, the
 // OIM tensor, and the kernel program lowered for the selected configuration.
 // All simulation state lives in the [Session] and [Batch] values a design
@@ -57,6 +83,16 @@ type Design struct {
 	cfg     config
 	inputs  map[string]int
 	outputs map[string]int
+
+	// plan and partProgs are set when the design was compiled with
+	// [WithPartitions]: the immutable partition plan and the per-partition
+	// kernel programs, both built once and shared by every session. For
+	// such designs prog is not lowered at compile time — sessions only use
+	// the partition programs — but built lazily on the first NewBatch.
+	plan      *repcut.Plan
+	partProgs []*kernel.Program
+	progOnce  sync.Once
+	progErr   error
 }
 
 // Compile parses FIRRTL source text and runs the full Figure 14 pipeline.
@@ -74,6 +110,10 @@ func CompileGraph(g *dfg.Graph, opts ...Option) (*Design, error) {
 	cfg := config{kernel: PSU, passes: DefaultOptPasses()}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	// Reject bad options before the expensive Figure 14 pipeline runs.
+	if cfg.partitions < 0 {
+		return nil, fmt.Errorf("sim: WithPartitions needs at least one partition")
 	}
 	o := dfg.OptOptions{
 		ConstFold:    cfg.passes.ConstFold,
@@ -98,12 +138,18 @@ func CompileGraph(g *dfg.Graph, opts ...Option) (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, err := kernel.NewProgram(t, kernel.Config{
-		Kind:              cfg.kernel.kind(),
-		UnoptimizedFormat: cfg.unoptFormat,
-	})
-	if err != nil {
-		return nil, err
+	var prog *kernel.Program
+	if cfg.partitions == 0 {
+		// Partitioned designs skip the monolithic lowering: their sessions
+		// run on the per-partition programs, and fullProgram builds this
+		// one lazily if a batch ever needs it.
+		prog, err = kernel.NewProgram(t, kernel.Config{
+			Kind:              cfg.kernel.kind(),
+			UnoptimizedFormat: cfg.unoptFormat,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	d := &Design{
 		graph:   optg,
@@ -118,6 +164,20 @@ func CompileGraph(g *dfg.Graph, opts ...Option) (*Design, error) {
 	}
 	for i, n := range t.OutputNames {
 		d.outputs[n] = i
+	}
+	if cfg.partitions > 0 {
+		plan, err := repcut.NewPlan(t, cfg.partitions)
+		if err != nil {
+			return nil, err
+		}
+		progs, err := plan.Lower(kernel.Config{
+			Kind:              cfg.kernel.kind(),
+			UnoptimizedFormat: cfg.unoptFormat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.plan, d.partProgs = plan, progs
 	}
 	return d, nil
 }
@@ -185,15 +245,85 @@ func (d *Design) WriteOIM(w io.Writer) error { return d.tensor.WriteJSON(w) }
 // NewSession mints an independent simulation instance over the shared
 // compiled program. Sessions are cheap — only the mutable value state is
 // allocated — and distinct sessions may run concurrently.
+//
+// For designs compiled with [WithPartitions] the session is transparently
+// backed by a partitioned instance: Step fans one cycle out over the
+// persistent per-partition workers and synchronises registers through the
+// differential RUM exchange, while the full [Session] surface (Poke/Peek by
+// name and index, Step, Registers, Reset, waveforms, [Pool] checkout) is
+// unchanged and bit-identical to an unpartitioned session.
 func (d *Design) NewSession() *Session {
+	if d.plan != nil {
+		inst, err := d.plan.Instantiate(d.partProgs)
+		if err != nil {
+			// The programs were lowered from this very plan at compile
+			// time, so a pairing failure is an internal invariant break.
+			panic("sim: partition plan rejected its own programs: " + err.Error())
+		}
+		return &Session{d: d, eng: inst}
+	}
 	return &Session{d: d, eng: d.prog.Instantiate()}
+}
+
+// PartitionStats reports the partition plan of a design compiled with
+// [WithPartitions]. ok is false for unpartitioned designs.
+func (d *Design) PartitionStats() (stats PartitionStats, ok bool) {
+	if d.plan == nil {
+		return PartitionStats{}, false
+	}
+	st := d.plan.Stats()
+	return PartitionStats{
+		Partitions:        st.Partitions,
+		Requested:         st.Requested,
+		ReplicationFactor: st.ReplicationFactor,
+		CutSize:           st.CutSize,
+		MaxPartitionOps:   st.MaxPartitionOps,
+		MinPartitionOps:   st.MinPartitionOps,
+	}, true
+}
+
+// PartitionStats summarises a design's RepCut partition plan: what the
+// replication-aided cuts cost in duplicated logic and what the differential
+// register exchange pays every cycle.
+type PartitionStats struct {
+	// Partitions is the effective partition count; Requested is the
+	// [WithPartitions] argument before clamping to the register count.
+	Partitions, Requested int
+	// ReplicationFactor is total operations across partition cones over
+	// design operations (1.0 = nothing replicated).
+	ReplicationFactor float64
+	// CutSize counts register→reader edges crossing partitions: the
+	// occupied RUM points exchanged after every commit.
+	CutSize int
+	// MaxPartitionOps and MinPartitionOps measure cone load balance.
+	MaxPartitionOps, MinPartitionOps int
+}
+
+// fullProgram returns the monolithic (unpartitioned) kernel program,
+// lowering it on first use for partitioned designs. Safe for concurrent
+// callers.
+func (d *Design) fullProgram() (*kernel.Program, error) {
+	d.progOnce.Do(func() {
+		if d.prog != nil {
+			return
+		}
+		d.prog, d.progErr = kernel.NewProgram(d.tensor, kernel.Config{
+			Kind:              d.cfg.kernel.kind(),
+			UnoptimizedFormat: d.cfg.unoptFormat,
+		})
+	})
+	return d.prog, d.progErr
 }
 
 // NewBatch mints an n-lane lock-step simulation over the shared tensor; see
 // [Batch]. The lane schedule is lowered once per design and shared by all
 // its batches.
 func (d *Design) NewBatch(n int) (*Batch, error) {
-	b, err := d.prog.InstantiateBatch(n)
+	prog, err := d.fullProgram()
+	if err != nil {
+		return nil, err
+	}
+	b, err := prog.InstantiateBatch(n)
 	if err != nil {
 		return nil, err
 	}

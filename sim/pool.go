@@ -17,8 +17,9 @@ type Pool struct {
 	free chan *Session // idle sessions ready for checkout
 	mint chan struct{} // remaining lazy-creation budget
 
-	mu  sync.Mutex
-	out map[*Session]bool // sessions currently checked out
+	mu        sync.Mutex
+	out       map[*Session]bool // sessions currently checked out
+	checkouts uint64            // successful Gets since construction
 }
 
 // NewPool builds a pool of at most size sessions of d.
@@ -73,8 +74,35 @@ func (p *Pool) Get(ctx context.Context) (*Session, error) {
 func (p *Pool) checkout(s *Session) *Session {
 	p.mu.Lock()
 	p.out[s] = true
+	p.checkouts++
 	p.mu.Unlock()
 	return s
+}
+
+// PoolStats is a point-in-time snapshot of a pool's occupancy.
+type PoolStats struct {
+	// Cap is the pool's session capacity.
+	Cap int
+	// Idle counts sessions ready for checkout; unspent lazy-creation
+	// budget counts as idle capacity.
+	Idle int
+	// CheckedOut counts sessions currently held by callers.
+	CheckedOut int
+	// Checkouts counts successful Gets since the pool was built.
+	Checkouts uint64
+}
+
+// Stats reports the pool's occupancy counters, the serving-side
+// observability hook: poll it to size pools or alarm on exhaustion.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Cap:        cap(p.free),
+		Idle:       len(p.free) + len(p.mint),
+		CheckedOut: len(p.out),
+		Checkouts:  p.checkouts,
+	}
 }
 
 // Put checks a session back in, resetting it so the next checkout starts
@@ -84,6 +112,12 @@ func (p *Pool) checkout(s *Session) *Session {
 func (p *Pool) Put(s *Session) {
 	if s == nil || s.d != p.d {
 		panic("sim: Pool.Put of session from a different design")
+	}
+	if s.closed {
+		// Re-pooling a closed session would hand a dead session (stopped
+		// partition workers) to a later Get, which would fail far from the
+		// offending Close.
+		panic("sim: Pool.Put of closed session")
 	}
 	p.mu.Lock()
 	ok := p.out[s]

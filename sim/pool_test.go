@@ -67,6 +67,40 @@ func TestPoolConcurrentCheckout(t *testing.T) {
 	}
 }
 
+// TestPoolStats tracks the observability counters through a
+// checkout/checkin cycle.
+func TestPoolStats(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Cap != 2 || st.Idle != 2 || st.CheckedOut != 0 || st.Checkouts != 0 {
+		t.Fatalf("fresh pool stats = %+v", st)
+	}
+	ctx := context.Background()
+	s, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Idle != 1 || st.CheckedOut != 1 || st.Checkouts != 1 {
+		t.Fatalf("stats after Get = %+v", st)
+	}
+	p.Put(s)
+	if st := p.Stats(); st.Idle != 2 || st.CheckedOut != 0 || st.Checkouts != 1 {
+		t.Fatalf("stats after Put = %+v", st)
+	}
+	if err := p.Do(ctx, func(*sim.Session) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Checkouts != 2 || st.CheckedOut != 0 {
+		t.Fatalf("stats after Do = %+v", st)
+	}
+}
+
 func TestPoolContextCancellation(t *testing.T) {
 	d, err := sim.Compile(counterSrc)
 	if err != nil {
@@ -119,6 +153,30 @@ func TestPoolMisuse(t *testing.T) {
 		}()
 		p.Put(other.NewSession())
 	}()
+}
+
+// TestPoolRejectsClosedSession: a closed session must not re-enter the
+// free-list, where a later Get would hand out a dead session.
+func TestPoolRejectsClosedSession(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Put of closed session did not panic")
+		}
+	}()
+	p.Put(s)
 }
 
 // TestPoolDoublePutPanics covers the aliasing hazard: a double Put while

@@ -18,6 +18,7 @@ type Session struct {
 	d       *Design
 	eng     kernel.Engine
 	cycle   int64
+	closed  bool
 	wave    *vcd.Writer
 	waveSig []int32 // slots sampled into the waveform
 }
@@ -94,6 +95,20 @@ func (s *Session) Run(n int64) error {
 func (s *Session) Reset() {
 	s.eng.Reset()
 	s.cycle = 0
+}
+
+// Close releases session resources. Sessions of a partitioned design (see
+// [WithPartitions]) hold one persistent worker goroutine per partition;
+// Close stops them deterministically. Calling Close is optional — an
+// unreachable session is cleaned up by the garbage collector — and a no-op
+// for unpartitioned sessions. The session must not be used after Close; in
+// particular, never Close a session checked out of a [Pool] — hand it back
+// with [Pool.Put] instead ([Pool.Put] rejects closed sessions).
+func (s *Session) Close() {
+	s.closed = true
+	if c, ok := s.eng.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // EnableWaveform records every primary output and register to w as VCD,
