@@ -200,7 +200,7 @@ func BenchmarkAblationIdentityExplicit(b *testing.B) {
 // Ablation: RepCut thread scaling (1..8 partitions on the rocket design).
 func benchRepCut(b *testing.B, parts int) {
 	_, t := benchDesign(b)
-	plan, err := repcut.NewPlan(t, parts)
+	plan, err := repcut.NewPlan(t, parts, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -7,7 +7,9 @@
 // serving path of the public sim package: single-session stepping versus
 // RepCut-partitioned sessions versus SoA multi-lane batches versus a
 // session pool drained by parallel workers. "partitions" is the RepCut
-// strong-scaling study (speedup vs. replication and cut size).
+// strong-scaling study (speedup vs. replication and cut size, per
+// partition strategy), and "partition-quality" sweeps strategy × partition
+// count across the benchmark designs.
 package main
 
 import (
@@ -32,23 +34,24 @@ func main() {
 	c := bench.Config{Scale: *scale}
 
 	experiments := map[string]func() error{
-		"table1":     func() error { return bench.Table1(os.Stdout) },
-		"table3":     func() error { bench.Table3(os.Stdout); return nil },
-		"figure7":    func() error { return bench.Figure7(os.Stdout, c) },
-		"figure8":    func() error { return bench.Figure8(os.Stdout, c) },
-		"table4":     func() error { return bench.Table4(os.Stdout, c) },
-		"table5":     func() error { return bench.Table5(os.Stdout, c) },
-		"table6":     func() error { return bench.Table6(os.Stdout, c) },
-		"figure15":   func() error { return bench.Figure15(os.Stdout, c) },
-		"figure16":   func() error { return bench.Figure16(os.Stdout, c) },
-		"figure17":   func() error { return bench.Figure17(os.Stdout, c) },
-		"figure18":   func() error { return bench.Figure18(os.Stdout, c) },
-		"figure19":   func() error { return bench.Figure19(os.Stdout, c) },
-		"figure20":   func() error { return bench.Figure20(os.Stdout, c) },
-		"figure21":   func() error { return bench.Figure21(os.Stdout, c) },
-		"table7":     func() error { return bench.Table7(os.Stdout, c) },
-		"throughput": func() error { return throughput(c) },
-		"partitions": func() error { return partitionScaling(c) },
+		"table1":            func() error { return bench.Table1(os.Stdout) },
+		"table3":            func() error { bench.Table3(os.Stdout); return nil },
+		"figure7":           func() error { return bench.Figure7(os.Stdout, c) },
+		"figure8":           func() error { return bench.Figure8(os.Stdout, c) },
+		"table4":            func() error { return bench.Table4(os.Stdout, c) },
+		"table5":            func() error { return bench.Table5(os.Stdout, c) },
+		"table6":            func() error { return bench.Table6(os.Stdout, c) },
+		"figure15":          func() error { return bench.Figure15(os.Stdout, c) },
+		"figure16":          func() error { return bench.Figure16(os.Stdout, c) },
+		"figure17":          func() error { return bench.Figure17(os.Stdout, c) },
+		"figure18":          func() error { return bench.Figure18(os.Stdout, c) },
+		"figure19":          func() error { return bench.Figure19(os.Stdout, c) },
+		"figure20":          func() error { return bench.Figure20(os.Stdout, c) },
+		"figure21":          func() error { return bench.Figure21(os.Stdout, c) },
+		"table7":            func() error { return bench.Table7(os.Stdout, c) },
+		"throughput":        func() error { return throughput(c) },
+		"partitions":        func() error { return partitionScaling(c) },
+		"partition-quality": func() error { return bench.PartitionQuality(os.Stdout, c) },
 	}
 
 	args := flag.Args()
@@ -65,7 +68,7 @@ func main() {
 		}
 		f, ok := experiments[name]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, partitions, all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, partitions, partition-quality, all)", name))
 		}
 		if err := f(); err != nil {
 			fatal(err)
@@ -191,23 +194,23 @@ func throughput(c bench.Config) error {
 }
 
 // partitionScaling is the RepCut strong-scaling experiment (§8): one
-// design, growing partition counts, reporting wall-clock speedup against
-// the cost side of the trade — replicated logic and exchanged registers.
+// design, growing partition counts, reporting wall-clock speedup per
+// partition strategy against the cost side of the trade — the
+// ReplicationFactor and CutSize columns explain why a row wins or loses.
 func partitionScaling(c bench.Config) error {
-	g, _, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 1, Scale: c.Scale})
+	g, _, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 4, Scale: c.Scale})
 	if err != nil {
 		return err
 	}
 	const cycles = 1000
-	fmt.Printf("partitions: RepCut scaling on rocket/%d, PSU kernel, %d cycles (GOMAXPROCS=%d)\n",
+	fmt.Printf("partitions: RepCut scaling on r4/%d, PSU kernel, %d cycles (GOMAXPROCS=%d)\n",
 		c.Scale, cycles, runtime.GOMAXPROCS(0))
-	fmt.Printf("  %-6s %-12s %-10s %-12s %-8s %s\n",
-		"parts", "cycles/s", "speedup", "replication", "cut", "ops max/min")
-	var base float64
-	for _, parts := range []int{1, 2, 4, 8} {
-		d, err := sim.CompileGraph(g, sim.WithKernel(sim.PSU), sim.WithPartitions(parts))
+	fmt.Printf("  %-6s %-13s %-12s %-10s %-12s %-8s %s\n",
+		"parts", "strategy", "cycles/s", "speedup", "replication", "cut", "ops max/min")
+	run := func(parts int, opts ...sim.Option) (float64, sim.PartitionStats, error) {
+		d, err := sim.CompileGraph(g, append(opts, sim.WithKernel(sim.PSU), sim.WithPartitions(parts))...)
 		if err != nil {
-			return err
+			return 0, sim.PartitionStats{}, err
 		}
 		st, _ := d.PartitionStats()
 		s := d.NewSession()
@@ -219,18 +222,28 @@ func partitionScaling(c bench.Config) error {
 				s.PokeIndex(j, rng.Uint64())
 			}
 			if err := s.Step(); err != nil {
-				return err
+				return 0, st, err
 			}
 		}
 		el := time.Since(start)
 		s.Close()
-		rate := float64(cycles) / el.Seconds()
-		if parts == 1 {
-			base = rate
+		return float64(cycles) / el.Seconds(), st, nil
+	}
+	base, _, err := run(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-6d %-13s %-12.0f %-10.2f %-12.2f %-8d -\n", 1, "-", base, 1.0, 1.0, 0)
+	for _, parts := range []int{2, 4, 8} {
+		for _, strat := range sim.PartitionStrategies() {
+			rate, st, err := run(parts, sim.WithPartitionStrategy(strat))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-6d %-13s %-12.0f %-10.2f %-12.2f %-8d %d/%d\n",
+				st.Partitions, st.Strategy, rate, rate/base, st.ReplicationFactor, st.CutSize,
+				st.MaxPartitionOps, st.MinPartitionOps)
 		}
-		fmt.Printf("  %-6d %-12.0f %-10.2f %-12.2f %-8d %d/%d\n",
-			st.Partitions, rate, rate/base, st.ReplicationFactor, st.CutSize,
-			st.MaxPartitionOps, st.MinPartitionOps)
 	}
 	return nil
 }

@@ -48,17 +48,24 @@ func main() {
 	ref := design.NewSession()
 	fmt.Printf("sequential PSU: %8v for %d cycles\n", run(ref), cycles)
 
-	for _, parts := range []int{2, 4, 8} {
-		pd, err := sim.CompileGraph(g, sim.WithKernel(sim.PSU), sim.WithPartitions(parts))
-		if err != nil {
-			log.Fatal(err)
+	// The ownership strategy decides what partitioning costs: round-robin
+	// is the structure-blind baseline, min-cut clusters registers by shared
+	// logic and refines the boundary. Same design, same partition counts —
+	// only the assignment differs.
+	for _, strat := range []sim.PartitionStrategy{sim.RoundRobin, sim.MinCut} {
+		for _, parts := range []int{2, 4, 8} {
+			pd, err := sim.CompileGraph(g, sim.WithKernel(sim.PSU),
+				sim.WithPartitions(parts), sim.WithPartitionStrategy(strat))
+			if err != nil {
+				log.Fatal(err)
+			}
+			ps, _ := pd.PartitionStats()
+			s := pd.NewSession()
+			elapsed := run(s)
+			fmt.Printf("repcut %d parts (%-11s): %8v, replication %.2fx, cut %d, state match: %v\n",
+				parts, ps.Strategy, elapsed, ps.ReplicationFactor, ps.CutSize,
+				slices.Equal(ref.Registers(), s.Registers()))
+			s.Close()
 		}
-		ps, _ := pd.PartitionStats()
-		s := pd.NewSession()
-		elapsed := run(s)
-		fmt.Printf("repcut %d parts: %8v, replication %.2fx, cut %d, state match: %v\n",
-			parts, elapsed, ps.ReplicationFactor, ps.CutSize,
-			slices.Equal(ref.Registers(), s.Registers()))
-		s.Close()
 	}
 }

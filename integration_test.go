@@ -164,7 +164,7 @@ func TestFullPipelineOnGeneratedDesign(t *testing.T) {
 
 	// RepCut with 3 partitions, through the plan → lower → instantiate split.
 	{
-		plan, err := repcut.NewPlan(ten, 3)
+		plan, err := repcut.NewPlan(ten, 3, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

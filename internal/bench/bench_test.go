@@ -59,6 +59,8 @@ func TestExperimentsRunAndRender(t *testing.T) {
 			[]string{"10.5MB", "ESSENT"}},
 		{"table7", func(w *strings.Builder) error { return Table7(w, c) },
 			[]string{"verilator", "essent", "PSU"}},
+		{"partition-quality", func(w *strings.Builder) error { return PartitionQuality(w, c) },
+			[]string{"round-robin", "cone-cluster", "min-cut", "replication", "sequential"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

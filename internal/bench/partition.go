@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"rteaal/internal/gen"
+	"rteaal/internal/kernel"
+	"rteaal/internal/partition"
+	"rteaal/internal/repcut"
+)
+
+// PartitionQuality is the partition-strategy study (not from the paper): it
+// sweeps strategy × partition count over the benchmark designs and reports,
+// side by side, the static cost of each plan (replication factor, cut size,
+// per-partition load balance) and the wall-clock cycles/second the plan
+// actually delivers through the PSU kernel. The point of the table is the
+// causal chain: the assignment decides replication and cut, and those decide
+// whether a partitioned simulation beats a sequential one.
+func PartitionQuality(w io.Writer, c Config) error {
+	c = c.norm()
+	const cycles = 300
+	specs := []gen.Spec{
+		{Family: gen.Rocket, Cores: 4, Scale: c.Scale},
+		{Family: gen.Gemmini, Cores: 16, Scale: c.Scale},
+		{Family: gen.SHA3, Scale: c.Scale},
+	}
+	fmt.Fprintf(w, "partition quality: strategy sweep, PSU kernel, %d cycles/point (GOMAXPROCS=%d)\n",
+		cycles, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-10s %-6s %-13s %12s %8s %14s %12s %9s\n",
+		"design", "parts", "strategy", "replication", "cut", "ops max/min", "cycles/s", "vs seq")
+	for _, spec := range specs {
+		_, ten, err := Build(spec)
+		if err != nil {
+			return err
+		}
+		prog, err := kernel.NewProgram(ten, kernel.Config{Kind: kernel.PSU})
+		if err != nil {
+			return err
+		}
+		base := timeEngine(prog.Instantiate(), len(ten.InputSlots), cycles)
+		fmt.Fprintf(w, "%-10s %-6d %-13s %12s %8s %14s %12.0f %9s\n",
+			fmt.Sprintf("%s/%d", spec.Name(), c.Scale), 1, "sequential", "1.00", "0",
+			fmt.Sprintf("%d/%d", ten.TotalOps(), ten.TotalOps()), base, "1.00x")
+		for _, n := range []int{2, 4, 8} {
+			for _, strat := range partition.All() {
+				plan, err := repcut.NewPlan(ten, n, strat)
+				if err != nil {
+					return err
+				}
+				progs, err := plan.Lower(kernel.Config{Kind: kernel.PSU})
+				if err != nil {
+					return err
+				}
+				inst, err := plan.Instantiate(progs)
+				if err != nil {
+					return err
+				}
+				rate := timeEngine(inst, len(ten.InputSlots), cycles)
+				inst.Close()
+				st := plan.Stats()
+				fmt.Fprintf(w, "%-10s %-6d %-13s %12.2f %8d %14s %12.0f %8.2fx\n",
+					fmt.Sprintf("%s/%d", spec.Name(), c.Scale), st.Partitions, st.Strategy,
+					st.ReplicationFactor, st.CutSize,
+					fmt.Sprintf("%d/%d", st.MaxPartitionOps, st.MinPartitionOps),
+					rate, rate/base)
+			}
+		}
+	}
+	return nil
+}
+
+// timeEngine drives an engine with seeded random stimulus and reports
+// cycles/second.
+func timeEngine(e kernel.Engine, inputs, cycles int) float64 {
+	rng := rand.New(rand.NewSource(1))
+	start := time.Now()
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < inputs; i++ {
+			e.PokeInput(i, rng.Uint64())
+		}
+		e.Step()
+	}
+	el := time.Since(start)
+	if el <= 0 {
+		el = time.Nanosecond
+	}
+	return float64(cycles) / el.Seconds()
+}

@@ -106,14 +106,19 @@ func (s Spec) norm() Spec {
 	return s
 }
 
-// coreParams shape the synthetic pipeline generator.
+// coreParams shape the synthetic SoC generator. Operation and register
+// budgets are split into an uncore share (caches, bus, periphery — one
+// instance) and a per-core share (one instance per core), matching the
+// base + per-core structure of the Table 1 design sizes.
 type coreParams struct {
-	ops      int     // effectual operation target
-	regs     int     // architectural registers
-	inputs   int     // primary inputs
-	layers   int     // pipeline depth (dataflow layers)
-	muxShare float64 // fraction of mux/select operations
-	farBias  float64 // probability an operand reaches far back (stretches
+	uncoreOps  int     // uncore effectual operation target
+	coreOps    int     // per-core effectual operation target
+	uncoreRegs int     // uncore architectural registers
+	coreRegs   int     // per-core architectural registers
+	inputs     int     // primary inputs (fed to the uncore)
+	layers     int     // pipeline depth (dataflow layers)
+	muxShare   float64 // fraction of mux/select operations
+	farBias    float64 // probability an operand reaches far back (stretches
 	// value lifetimes, which drives the identity-op count of Table 1)
 	width int
 }
@@ -124,43 +129,49 @@ func (s Spec) params() coreParams {
 	switch s.Family {
 	case Rocket:
 		return coreParams{
-			ops:      (51_400 + 11_800*s.Cores) / s.Scale,
-			regs:     (6_000 + 1_400*s.Cores) / s.Scale,
-			inputs:   64,
-			layers:   42,
-			muxShare: 0.30,
-			farBias:  0.145,
-			width:    32,
+			uncoreOps:  51_400 / s.Scale,
+			coreOps:    11_800 / s.Scale,
+			uncoreRegs: 6_000 / s.Scale,
+			coreRegs:   1_400 / s.Scale,
+			inputs:     64,
+			layers:     42,
+			muxShare:   0.30,
+			farBias:    0.145,
+			width:      32,
 		}
 	case Boom:
 		return coreParams{
-			ops:      (73_100 + 29_500*s.Cores) / s.Scale,
-			regs:     (9_000 + 3_200*s.Cores) / s.Scale,
-			inputs:   64,
-			layers:   56,
-			muxShare: 0.34,
-			farBias:  0.158,
-			width:    40,
+			uncoreOps:  73_100 / s.Scale,
+			coreOps:    29_500 / s.Scale,
+			uncoreRegs: 9_000 / s.Scale,
+			coreRegs:   3_200 / s.Scale,
+			inputs:     64,
+			layers:     56,
+			muxShare:   0.34,
+			farBias:    0.158,
+			width:      40,
 		}
 	case Gemmini:
 		return coreParams{ // host core share; the MAC grid is added on top
-			ops:      (48_000 + 11_700) / s.Scale,
-			regs:     (6_000 + 1_400) / s.Scale,
-			inputs:   64,
-			layers:   42,
-			muxShare: 0.30,
-			farBias:  0.145,
-			width:    32,
+			uncoreOps:  48_000 / s.Scale,
+			coreOps:    11_700 / s.Scale,
+			uncoreRegs: 6_000 / s.Scale,
+			coreRegs:   1_400 / s.Scale,
+			inputs:     64,
+			layers:     42,
+			muxShare:   0.30,
+			farBias:    0.145,
+			width:      32,
 		}
 	default: // SHA3: glue logic only; the permutation is added on top
 		return coreParams{
-			ops:      9_000 / s.Scale,
-			regs:     900 / s.Scale,
-			inputs:   32,
-			layers:   18,
-			muxShare: 0.28,
-			farBias:  0.35,
-			width:    64,
+			uncoreOps:  9_000 / s.Scale,
+			uncoreRegs: 900 / s.Scale,
+			inputs:     32,
+			layers:     18,
+			muxShare:   0.28,
+			farBias:    0.35,
+			width:      64,
 		}
 	}
 }
@@ -171,15 +182,18 @@ func Generate(spec Spec) (*dfg.Graph, error) {
 	rng := rand.New(rand.NewSource(int64(spec.Family)*1_000_003 + int64(spec.Cores)*7919 + int64(spec.Scale)))
 	g := &dfg.Graph{Name: spec.Name()}
 	p := spec.params()
-	synthPipeline(g, rng, p)
 	switch spec.Family {
+	case Rocket, Boom:
+		synthSoC(g, rng, p, spec.Cores)
 	case Gemmini:
+		synthSoC(g, rng, p, 1) // host core + uncore
 		dim := spec.Cores
 		if dim < 2 {
 			dim = 8
 		}
 		addMACGrid(g, dim, 8, spec.Scale)
 	case SHA3:
+		synthSoC(g, rng, p, 0) // glue only
 		addKeccak(g)
 	}
 	if err := g.Validate(); err != nil {
@@ -188,34 +202,95 @@ func Generate(spec Spec) (*dfg.Graph, error) {
 	return g, nil
 }
 
-// synthPipeline builds the statistically calibrated SoC logic: layers of
+// module is one synthesised pipeline block: its registers and the final
+// combinational layer other blocks may observe.
+type module struct {
+	regs []dfg.NodeID
+	last []dfg.NodeID
+}
+
+// synthSoC builds the calibrated SoC: one uncore pipeline (fed by the
+// primary inputs) and `cores` core pipelines, coupled exclusively through
+// explicit bus registers. Cores read the shared bus registers' committed
+// values; the bus writes back a mix of uncore values and per-core response
+// registers. Because combinational fan-in cones stop at register Q
+// coordinates, each core's logic forms its own cone cluster — the modular
+// structure real Chipyard SoCs have, and what a structure-aware partition
+// strategy exists to find (the cut reduces to the bus exchange). cores == 0
+// builds just the uncore block, for accelerator glue.
+func synthSoC(g *dfg.Graph, rng *rand.Rand, p coreParams, cores int) {
+	w := p.width
+	var inputs []dfg.NodeID
+	for i := 0; i < p.inputs; i++ {
+		inputs = append(inputs, g.AddInput(fmt.Sprintf("io_in_%d", i), w))
+	}
+	if cores < 1 {
+		m := synthModule(g, rng, "glue", p, p.uncoreOps, p.uncoreRegs, inputs, nil)
+		for i := 0; i < 16 && i < len(m.last); i++ {
+			g.AddOutput(fmt.Sprintf("io_out_%d", i), m.last[(i*13)%len(m.last)])
+		}
+		return
+	}
+
+	// Shared bus registers, created first so both sides read their Q values.
+	busN := max(4, min(16, 2*cores+6))
+	bus := make([]dfg.NodeID, busN)
+	for i := range bus {
+		bus[i] = g.AddReg(fmt.Sprintf("bus_%d", i), w, rng.Uint64())
+	}
+	unc := synthModule(g, rng, "uncore", p, p.uncoreOps, max(p.uncoreRegs-busN, 1), inputs, bus)
+
+	var resp []dfg.NodeID // per-core response registers the bus reads back
+	for c := 0; c < cores; c++ {
+		// Each core reads the shared bus plus one private interrupt-style
+		// input, and exports a couple of its registers back to the bus.
+		irq := g.AddInput(fmt.Sprintf("io_irq_%d", c), 1)
+		m := synthModule(g, rng, fmt.Sprintf("core%d", c), p,
+			p.coreOps, p.coreRegs, []dfg.NodeID{irq}, bus)
+		for k := 0; k < 2 && k < len(m.regs); k++ {
+			resp = append(resp, m.regs[(k*7)%len(m.regs)])
+		}
+		g.AddOutput(fmt.Sprintf("io_core%d_out", c), m.last[len(m.last)-1])
+	}
+
+	// Bus write-back: each bus register arbitrates between an uncore value
+	// and one core's response register.
+	for i, b := range bus {
+		sel := g.AddOp(wire.OrR, 1, unc.last[(i*11+2)%len(unc.last)])
+		src := unc.last[(i*5)%len(unc.last)]
+		val := g.AddOp(wire.Bits, w, src, g.AddConst(uint64(w-1), 7), g.AddConst(0, 7))
+		g.SetRegNext(b, g.AddOp(wire.Mux, w, sel, val, resp[i%len(resp)]))
+	}
+
+	// Observation outputs from the uncore.
+	for i := 0; i < 16 && i < len(unc.last); i++ {
+		g.AddOutput(fmt.Sprintf("io_out_%d", i), unc.last[(i*13)%len(unc.last)])
+	}
+}
+
+// synthModule builds one statistically calibrated pipeline block: layers of
 // operations whose operands mostly come from the previous layer (datapath
 // locality) with a farBias share reaching back to old layers and registers
 // (long-lived control/state values, which is what makes real designs need
-// the large identity counts of Table 1 before elision).
-func synthPipeline(g *dfg.Graph, rng *rand.Rand, p coreParams) {
+// the large identity counts of Table 1 before elision). inputs and sources
+// are external values the module may read — its combinational cones stop at
+// any source that is a register.
+func synthModule(g *dfg.Graph, rng *rand.Rand, name string, p coreParams,
+	ops, nregs int, inputs, sources []dfg.NodeID) module {
 	w := p.width
-	var sources []dfg.NodeID
-	for i := 0; i < p.inputs; i++ {
-		sources = append(sources, g.AddInput(fmt.Sprintf("io_in_%d", i), w))
+	regs := make([]dfg.NodeID, max(nregs, 1))
+	for i := range regs {
+		regs[i] = g.AddReg(fmt.Sprintf("%s_reg_%d", name, i), w, rng.Uint64())
 	}
-	var regs []dfg.NodeID
-	for i := 0; i < p.regs; i++ {
-		regs = append(regs, g.AddReg(fmt.Sprintf("reg_%d", i), w, rng.Uint64()))
-	}
-	sources = append(sources, regs...)
-	consts := make([]dfg.NodeID, 8)
-	for i := range consts {
-		consts[i] = g.AddConst(rng.Uint64(), w)
-	}
+	srcs := append(append([]dfg.NodeID(nil), inputs...), sources...)
+	srcs = append(srcs, regs...)
 
-	perLayer := p.ops / p.layers
+	perLayer := ops / p.layers
 	if perLayer < 1 {
 		perLayer = 1
 	}
-	layers := make([][]dfg.NodeID, 0, p.layers)
-	prev := sources
-	all := append([]dfg.NodeID(nil), sources...)
+	prev := srcs
+	all := append([]dfg.NodeID(nil), srcs...)
 
 	pickPrev := func() dfg.NodeID { return prev[rng.Intn(len(prev))] }
 	pickFar := func() dfg.NodeID { return all[rng.Intn(len(all))] }
@@ -228,6 +303,7 @@ func synthPipeline(g *dfg.Graph, rng *rand.Rand, p coreParams) {
 
 	binOps := []wire.Op{wire.Add, wire.Sub, wire.And, wire.Or, wire.Xor,
 		wire.Eq, wire.Lt, wire.Add, wire.Xor, wire.Or} // ALU-weighted mix
+	var last []dfg.NodeID
 	for l := 0; l < p.layers; l++ {
 		layer := make([]dfg.NodeID, 0, perLayer)
 		for k := 0; k < perLayer; k++ {
@@ -255,13 +331,12 @@ func synthPipeline(g *dfg.Graph, rng *rand.Rand, p coreParams) {
 			layer = append(layer, id)
 			all = append(all, id)
 		}
-		layers = append(layers, layer)
+		last = layer
 		prev = layer
 	}
 
 	// Register write-back: next-states come from the last layers (a
 	// writeback mux between old value and a computed value).
-	last := layers[len(layers)-1]
 	for i, q := range regs {
 		src := last[i%len(last)]
 		sel := last[(i*7+3)%len(last)]
@@ -269,11 +344,7 @@ func synthPipeline(g *dfg.Graph, rng *rand.Rand, p coreParams) {
 		val := g.AddOp(wire.Bits, w, src, g.AddConst(uint64(w-1), 7), g.AddConst(0, 7))
 		g.SetRegNext(q, g.AddOp(wire.Mux, w, cond, val, q))
 	}
-	// Outputs: a few observation points.
-	for i := 0; i < 16 && i < len(last); i++ {
-		g.AddOutput(fmt.Sprintf("io_out_%d", i), last[(i*13)%len(last)])
-	}
-	_ = consts
+	return module{regs: regs, last: last}
 }
 
 // addMACGrid attaches a real output-stationary systolic multiply-accumulate

@@ -1,0 +1,117 @@
+package partition
+
+import (
+	"slices"
+	"sort"
+
+	"rteaal/internal/oim"
+)
+
+// ConeCluster clusters registers by fan-in-cone overlap: partitions are
+// seeded farthest-first with mutually dissimilar cones, then every remaining
+// register joins the partition whose accumulated cone it overlaps most (by
+// Jaccard similarity), subject to a balance cap on replicated ops. Registers
+// sharing combinational logic therefore co-locate and the shared logic is
+// replicated once rather than once per partition.
+type ConeCluster struct{}
+
+// Name implements [Strategy].
+func (ConeCluster) Name() string { return "cone-cluster" }
+
+// Assign implements [Strategy].
+func (ConeCluster) Assign(t *oim.Tensor, n int) ([]int, error) {
+	if err := checkAssignArgs(t, n); err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		return make([]int, len(t.RegSlots)), nil // trivial; skip the analysis
+	}
+	return coneCluster(analyze(t), n), nil
+}
+
+// coneCluster is the shared greedy clustering; [MinCut] reuses it as its
+// seed so both strategies stay in lock-step on the same analysis.
+func coneCluster(a *analysis, n int) []int {
+	nr := len(a.cones)
+	owner := make([]int, nr)
+	if nr == 0 || n == 1 {
+		return owner
+	}
+	for ri := range owner {
+		owner[ri] = -1
+	}
+
+	// Registers in descending cone size (stable by index) so the big,
+	// hard-to-place cones anchor partitions first.
+	order := make([]int, nr)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return a.coneOps[order[i]] > a.coneOps[order[j]]
+	})
+
+	// Farthest-first seeding: the largest cone, then whatever register is
+	// least similar to every seed so far (ties to the larger cone via the
+	// order scan). One seed per partition guarantees none ends up empty.
+	seeds := []int{order[0]}
+	bestSim := make([]float64, nr) // max Jaccard to any chosen seed
+	for _, ri := range order[1:] {
+		bestSim[ri] = jaccard(a.cones[seeds[0]], a.cones[ri], a.coneOps[seeds[0]], a.coneOps[ri])
+	}
+	for len(seeds) < n {
+		next, nextSim := -1, 2.0
+		for _, ri := range order {
+			if owner[ri] == -1 && !slices.Contains(seeds, ri) && bestSim[ri] < nextSim {
+				next, nextSim = ri, bestSim[ri]
+			}
+		}
+		seeds = append(seeds, next)
+		for _, ri := range order {
+			if owner[ri] == -1 && ri != next {
+				s := jaccard(a.cones[next], a.cones[ri], a.coneOps[next], a.coneOps[ri])
+				bestSim[ri] = max(bestSim[ri], s)
+			}
+		}
+	}
+
+	unions := make([]bitset, n)
+	unionOps := make([]int, n)
+	for p, ri := range seeds {
+		owner[ri] = p
+		unions[p] = a.cones[ri].clone()
+		unionOps[p] = a.coneOps[ri]
+	}
+
+	capOps := balanceCap(a.coneTotal, a.maxConeOps(), n)
+	for _, ri := range order {
+		if owner[ri] != -1 {
+			continue
+		}
+		cone, size := a.cones[ri], a.coneOps[ri]
+		best, bestScore := -1, -1.0
+		fallback, fallbackSize := -1, int(^uint(0)>>1)
+		for p := 0; p < n; p++ {
+			inter := andCount(unions[p], cone)
+			grown := unionOps[p] + size - inter
+			if grown <= capOps {
+				score := float64(inter) / float64(grown+1)
+				if score > bestScore {
+					best, bestScore = p, score
+				}
+			}
+			if grown < fallbackSize {
+				fallback, fallbackSize = p, grown
+			}
+		}
+		if best == -1 {
+			// Every partition is at the cap: take the one that stays
+			// smallest, so the overshoot is spread instead of compounded.
+			best = fallback
+		}
+		owner[ri] = best
+		unions[best].orWith(cone)
+		unionOps[best] = unions[best].popcount()
+	}
+	return owner
+}

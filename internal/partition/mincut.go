@@ -1,0 +1,199 @@
+package partition
+
+import (
+	"rteaal/internal/oim"
+)
+
+// MinCut is the highest-quality strategy: it seeds with [ConeCluster] and
+// then runs KL/FM-style boundary refinement, moving one register at a time
+// to whichever partition yields the best positive gain in
+//
+//	cost = Σ_p |union of owned cones in p|  +  cut edges
+//
+// (replicated operations plus register→reader RUM edges), subject to the
+// balance cap and to never emptying a partition. Passes repeat until no
+// improving move remains; every applied move strictly decreases the integer
+// cost, so refinement terminates.
+type MinCut struct{}
+
+// Name implements [Strategy].
+func (MinCut) Name() string { return "min-cut" }
+
+// maxRefinePasses bounds refinement; in practice the hill converges in a
+// handful of passes, this is a safety net for huge designs.
+const maxRefinePasses = 8
+
+// Assign implements [Strategy].
+func (MinCut) Assign(t *oim.Tensor, n int) ([]int, error) {
+	if err := checkAssignArgs(t, n); err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		return make([]int, len(t.RegSlots)), nil // trivial; skip the analysis
+	}
+	a := analyze(t)
+	owner := coneCluster(a, n)
+	newRefiner(a, owner, n).run()
+	return owner, nil
+}
+
+// refiner holds the incremental bookkeeping that makes per-move gains O(cone
+// size) instead of O(design): per-partition reference counts of cone
+// membership (for replication deltas) and of register reads (for cut
+// deltas).
+type refiner struct {
+	a     *analysis
+	n     int
+	owner []int
+	// cnt[p][op] counts owned cones in p containing op; the partition's
+	// replicated op count is the number of nonzero entries, tracked in
+	// unionOps[p].
+	cnt      [][]int32
+	unionOps []int
+	// readCnt[p][ri] counts registers owned by p — excluding ri itself —
+	// whose cones read ri's Q. Register ri crosses the cut into p exactly
+	// when p ≠ owner[ri] and readCnt[p][ri] > 0.
+	readCnt [][]int32
+	owned   []int
+	// capOps is the static floor of the balance bound; sumUnions tracks
+	// Σ unionOps so the working bound can follow the replication actually
+	// present (on tightly coupled designs every partition legitimately
+	// exceeds the ideal share).
+	capOps    int
+	sumUnions int
+}
+
+func newRefiner(a *analysis, owner []int, n int) *refiner {
+	r := &refiner{
+		a:        a,
+		n:        n,
+		owner:    owner,
+		cnt:      make([][]int32, n),
+		unionOps: make([]int, n),
+		readCnt:  make([][]int32, n),
+		owned:    make([]int, n),
+		capOps:   balanceCap(a.coneTotal, a.maxConeOps(), n),
+	}
+	for p := 0; p < n; p++ {
+		r.cnt[p] = make([]int32, a.numOps)
+		r.readCnt[p] = make([]int32, len(owner))
+	}
+	for ri, p := range owner {
+		r.owned[p]++
+		cnt := r.cnt[p]
+		r.a.cones[ri].forEachBit(func(op int) {
+			if cnt[op] == 0 {
+				r.unionOps[p]++
+				r.sumUnions++
+			}
+			cnt[op]++
+		})
+		for _, s := range a.regSrc[ri] {
+			if s != ri {
+				r.readCnt[p][s]++
+			}
+		}
+	}
+	return r
+}
+
+// moveCap is the balance bound a move's target partition must stay under:
+// the static cap, or tolerance slack over the mean of the replication
+// actually present, whichever is looser. Recomputed per move because every
+// applied move shifts the replication total.
+func (r *refiner) moveCap() int {
+	mean := (r.sumUnions + r.n - 1) / r.n
+	return max(r.capOps, mean+int(DefaultBalanceTolerance*float64(mean)))
+}
+
+// gain is the cost decrease of moving register ri from p to q, plus the
+// replicated ops the move would add to q (for the balance check). Positive
+// gain means the move helps.
+func (r *refiner) gain(ri, p, q int) (gain, add int) {
+	rem := 0
+	cntP, cntQ := r.cnt[p], r.cnt[q]
+	r.a.cones[ri].forEachBit(func(op int) {
+		if cntP[op] == 1 {
+			rem++
+		}
+		if cntQ[op] == 0 {
+			add++
+		}
+	})
+	cutDelta := 0
+	for _, s := range r.a.regSrc[ri] {
+		if s == ri {
+			continue
+		}
+		o := r.owner[s]
+		if o != p && r.readCnt[p][s] == 1 {
+			cutDelta-- // ri was p's only read of s
+		}
+		if o != q && r.readCnt[q][s] == 0 {
+			cutDelta++ // ri makes q a new reader of s
+		}
+	}
+	// ri's own readers: partitions other than the owner that read its Q.
+	if r.readCnt[p][ri] > 0 {
+		cutDelta++ // p keeps reading ri but no longer owns it
+	}
+	if r.readCnt[q][ri] > 0 {
+		cutDelta-- // q read ri across the cut; now it is local
+	}
+	return (rem - add) - cutDelta, add
+}
+
+func (r *refiner) apply(ri, p, q int) {
+	cntP, cntQ := r.cnt[p], r.cnt[q]
+	r.a.cones[ri].forEachBit(func(op int) {
+		cntP[op]--
+		if cntP[op] == 0 {
+			r.unionOps[p]--
+			r.sumUnions--
+		}
+		if cntQ[op] == 0 {
+			r.unionOps[q]++
+			r.sumUnions++
+		}
+		cntQ[op]++
+	})
+	for _, s := range r.a.regSrc[ri] {
+		if s != ri {
+			r.readCnt[p][s]--
+			r.readCnt[q][s]++
+		}
+	}
+	r.owner[ri] = q
+	r.owned[p]--
+	r.owned[q]++
+}
+
+func (r *refiner) run() {
+	for pass := 0; pass < maxRefinePasses; pass++ {
+		improved := false
+		for ri := range r.owner {
+			p := r.owner[ri]
+			if r.owned[p] <= 1 {
+				continue // never empty a partition
+			}
+			bestQ, bestGain := -1, 0
+			limit := r.moveCap()
+			for q := 0; q < r.n; q++ {
+				if q == p {
+					continue
+				}
+				g, add := r.gain(ri, p, q)
+				if g > bestGain && r.unionOps[q]+add <= limit {
+					bestQ, bestGain = q, g
+				}
+			}
+			if bestQ >= 0 {
+				r.apply(ri, p, bestQ)
+				improved = true
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package partition
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/gen"
+	"rteaal/internal/oim"
+	"rteaal/internal/wire"
+)
+
+func build(t *testing.T, g *dfg.Graph) *oim.Tensor {
+	t.Helper()
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := dfg.Levelize(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := oim.Build(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ten
+}
+
+// chainPairGraph has two pairs of registers: a,b share one combinational
+// blob and c,d share another, with nothing crossing between the pairs.
+func chainPairGraph() *dfg.Graph {
+	g := &dfg.Graph{Name: "pairs"}
+	in0 := g.AddInput("in0", 16)
+	in1 := g.AddInput("in1", 16)
+	mk := func(name string, in dfg.NodeID, init uint64) (dfg.NodeID, dfg.NodeID) {
+		ra := g.AddReg(name+"0", 16, init)
+		rb := g.AddReg(name+"1", 16, init+1)
+		// A shared blob both registers' next-states read.
+		x := g.AddOp(wire.Xor, 16, ra, rb)
+		y := g.AddOp(wire.Add, 16, x, in)
+		z := g.AddOp(wire.And, 16, y, x)
+		g.SetRegNext(ra, g.AddOp(wire.Add, 16, z, ra))
+		g.SetRegNext(rb, g.AddOp(wire.Sub, 16, z, rb))
+		return ra, rb
+	}
+	a, _ := mk("p", in0, 1)
+	c, _ := mk("q", in1, 7)
+	g.AddOutput("oa", a)
+	g.AddOutput("oc", c)
+	return g
+}
+
+// TestAnalyzeFanInCones pins the analysis down on the handcrafted design:
+// the two pairs have disjoint cones, and each register's cone reads exactly
+// the Q coordinates of its own pair.
+func TestAnalyzeFanInCones(t *testing.T) {
+	ten := build(t, chainPairGraph())
+	if len(ten.RegSlots) != 4 {
+		t.Fatalf("regs = %d, want 4", len(ten.RegSlots))
+	}
+	a := analyze(ten)
+	for ri := 0; ri < 4; ri++ {
+		if a.coneOps[ri] == 0 {
+			t.Fatalf("register %d has an empty cone", ri)
+		}
+		// Each register reads both members of its own pair and nothing else.
+		// Pair membership = same name prefix; registers are emitted in add
+		// order p0,p1,q0,q1, so pairs are {0,1} and {2,3}.
+		want := []int{0, 1}
+		if ri >= 2 {
+			want = []int{2, 3}
+		}
+		if !slices.Equal(a.regSrc[ri], want) {
+			t.Fatalf("regSrc[%d] = %v, want %v", ri, a.regSrc[ri], want)
+		}
+	}
+	if n := andCount(a.cones[0], a.cones[2]); n != 0 {
+		t.Fatalf("pair cones overlap in %d ops", n)
+	}
+	if n := andCount(a.cones[0], a.cones[1]); n == 0 {
+		t.Fatal("registers of one pair share no logic")
+	}
+}
+
+// TestConeClusterCoLocatesSharedLogic: at n=2 the pairs must land in
+// different partitions with their partners, giving zero replication and an
+// empty external read set.
+func TestConeClusterCoLocatesSharedLogic(t *testing.T) {
+	ten := build(t, chainPairGraph())
+	for _, strat := range []Strategy{ConeCluster{}, MinCut{}} {
+		owner, err := strat.Assign(ten, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner[0] != owner[1] || owner[2] != owner[3] {
+			t.Fatalf("%s split a pair: %v", strat.Name(), owner)
+		}
+		if owner[0] == owner[2] {
+			t.Fatalf("%s merged both pairs into one partition: %v", strat.Name(), owner)
+		}
+	}
+}
+
+// evalOwner computes replicated ops and cut edges for an owner vector
+// straight from the analysis — an independent reference for comparing
+// strategies without going through repcut.
+func evalOwner(a *analysis, owner []int, n int) (repOps, cut int) {
+	for p := 0; p < n; p++ {
+		union := newBitset(a.numOps)
+		for ri, o := range owner {
+			if o == p {
+				union.orWith(a.cones[ri])
+			}
+		}
+		repOps += union.popcount()
+	}
+	for ri := range owner {
+		readers := map[int]bool{}
+		for rj, o := range owner {
+			if o != owner[ri] && rj != ri && slices.Contains(a.regSrc[rj], ri) {
+				readers[o] = true
+			}
+		}
+		cut += len(readers)
+	}
+	return repOps, cut
+}
+
+// TestStrategiesValidAndDeterministic is the strategy-level property test:
+// over random graphs and synthesised benchmark designs, every strategy
+// produces a total, in-range, no-partition-empty owner vector, produces it
+// deterministically, and the balance-aware strategies respect the
+// documented tolerance.
+func TestStrategiesValidAndDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tensors []*oim.Tensor
+	for trial := 0; trial < 4; trial++ {
+		g := dfg.RandomGraph(rng, dfg.RandomParams{
+			Inputs: 4, Regs: 11, Ops: 200, Consts: 4, MaxWidth: 16, MuxBias: 0.3})
+		tensors = append(tensors, build(t, g))
+	}
+	for _, spec := range []gen.Spec{
+		{Family: gen.SHA3, Scale: 8},
+		{Family: gen.Rocket, Cores: 1, Scale: 64},
+	} {
+		g, err := gen.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tensors = append(tensors, build(t, g))
+	}
+
+	for ti, ten := range tensors {
+		maxCone := MaxConeOps(ten)
+		for _, strat := range All() {
+			for _, n := range []int{1, 2, 3, 8} {
+				if n > len(ten.RegSlots) {
+					continue
+				}
+				owner, err := strat.Assign(ten, n)
+				if err != nil {
+					t.Fatalf("tensor %d %s n=%d: %v", ti, strat.Name(), n, err)
+				}
+				if err := Validate(owner, len(ten.RegSlots), n); err != nil {
+					t.Fatalf("tensor %d %s n=%d: %v", ti, strat.Name(), n, err)
+				}
+				again, err := strat.Assign(ten, n)
+				if err != nil || !slices.Equal(owner, again) {
+					t.Fatalf("tensor %d %s n=%d: nondeterministic assignment", ti, strat.Name(), n)
+				}
+				if strat.Name() == "round-robin" {
+					continue
+				}
+				a := analyze(ten)
+				partOps := make([]int, n)
+				for p := 0; p < n; p++ {
+					union := newBitset(a.numOps)
+					for ri, o := range owner {
+						if o == p {
+							union.orWith(a.cones[ri])
+						}
+					}
+					partOps[p] = union.popcount()
+				}
+				if !WithinBalance(partOps, maxCone) {
+					t.Fatalf("tensor %d %s n=%d: unbalanced partitions %v (max cone %d)",
+						ti, strat.Name(), n, partOps, maxCone)
+				}
+			}
+		}
+	}
+}
+
+// TestMinCutRefinementNeverHurts: on every test tensor the refined
+// assignment must cost no more (replicated ops + cut) than its cone-cluster
+// seed — the gain function only applies strictly improving moves.
+func TestMinCutRefinementNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		g := dfg.RandomGraph(rng, dfg.RandomParams{
+			Inputs: 4, Regs: 12, Ops: 260, Consts: 4, MaxWidth: 16, MuxBias: 0.3})
+		ten := build(t, g)
+		a := analyze(ten)
+		for _, n := range []int{2, 4} {
+			if n > len(ten.RegSlots) {
+				continue
+			}
+			seed, err := ConeCluster{}.Assign(ten, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refined, err := MinCut{}.Assign(ten, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr, sc := evalOwner(a, seed, n)
+			rr, rc := evalOwner(a, refined, n)
+			if rr+rc > sr+sc {
+				t.Fatalf("trial %d n=%d: refinement worsened cost %d+%d -> %d+%d",
+					trial, n, sr, sc, rr, rc)
+			}
+		}
+	}
+}
+
+func TestAssignContract(t *testing.T) {
+	ten := build(t, chainPairGraph())
+	for _, strat := range All() {
+		if _, err := strat.Assign(ten, 0); err == nil {
+			t.Fatalf("%s accepted zero partitions", strat.Name())
+		}
+		if _, err := strat.Assign(ten, len(ten.RegSlots)+1); err == nil {
+			t.Fatalf("%s accepted more partitions than registers", strat.Name())
+		}
+	}
+}
+
+func TestDefaultAndNames(t *testing.T) {
+	if Default().Name() != (MinCut{}).Name() {
+		t.Fatalf("default strategy = %s", Default().Name())
+	}
+	seen := map[string]bool{}
+	for _, strat := range All() {
+		if strat.Name() == "" || seen[strat.Name()] {
+			t.Fatalf("strategy name %q empty or duplicated", strat.Name())
+		}
+		seen[strat.Name()] = true
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]int{0, 1, 0}, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate([]int{0, 0, 0}, 3, 2); err == nil {
+		t.Fatal("empty partition accepted")
+	}
+	if err := Validate([]int{0, 2, 1}, 3, 2); err == nil {
+		t.Fatal("out-of-range owner accepted")
+	}
+	if err := Validate([]int{0, 1}, 3, 2); err == nil {
+		t.Fatal("short owner vector accepted")
+	}
+	// More partitions than registers: emptiness is not required.
+	if err := Validate([]int{2}, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package repcut
+
+import (
+	"testing"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/gen"
+	"rteaal/internal/oim"
+	"rteaal/internal/partition"
+)
+
+func buildSpec(t *testing.T, spec gen.Spec) *oim.Tensor {
+	t.Helper()
+	g, err := gen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := dfg.Levelize(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := oim.Build(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ten
+}
+
+// TestMinCutBeatsRoundRobinOnCoupledDesigns is the headline acceptance
+// property of the partition-strategy layer: on the tightly coupled SoC
+// benchmark designs, min-cut refinement must strictly beat the round-robin
+// baseline on both replication factor and cut size at every partition count.
+func TestMinCutBeatsRoundRobinOnCoupledDesigns(t *testing.T) {
+	for _, spec := range []gen.Spec{
+		{Family: gen.Rocket, Cores: 1, Scale: 32},
+		{Family: gen.Boom, Cores: 1, Scale: 64},
+	} {
+		ten := buildSpec(t, spec)
+		for _, n := range []int{2, 4, 8} {
+			rrPlan, err := NewPlan(ten, n, partition.RoundRobin{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mcPlan, err := NewPlan(ten, n, partition.MinCut{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rr, mc := rrPlan.Stats(), mcPlan.Stats()
+			if mc.ReplicationFactor >= rr.ReplicationFactor {
+				t.Errorf("%s n=%d: min-cut replication %.3f !< round-robin %.3f",
+					spec.Name(), n, mc.ReplicationFactor, rr.ReplicationFactor)
+			}
+			if mc.CutSize >= rr.CutSize {
+				t.Errorf("%s n=%d: min-cut cut %d !< round-robin %d",
+					spec.Name(), n, mc.CutSize, rr.CutSize)
+			}
+		}
+	}
+}
+
+// TestEveryStrategyYieldsAValidPlan is the plan-level property test over
+// synthesised benchmark designs: for every strategy and partition count
+// (including requests beyond the register count), the plan has total
+// ownership, no empty partition after clamping, the strategy recorded in its
+// stats, and — for the balance-aware strategies — per-partition op counts
+// within the documented tolerance.
+func TestEveryStrategyYieldsAValidPlan(t *testing.T) {
+	for _, spec := range []gen.Spec{
+		{Family: gen.SHA3, Scale: 8},
+		{Family: gen.Rocket, Cores: 1, Scale: 64},
+	} {
+		ten := buildSpec(t, spec)
+		nRegs := len(ten.RegSlots)
+		maxCone := partition.MaxConeOps(ten)
+		for _, strat := range partition.All() {
+			for _, req := range []int{1, 2, 3, 8, nRegs + 10} {
+				plan, err := NewPlan(ten, req, strat)
+				if err != nil {
+					t.Fatalf("%s %s n=%d: %v", spec.Name(), strat.Name(), req, err)
+				}
+				st := plan.Stats()
+				if want := min(req, nRegs); st.Partitions != want || st.Requested != req {
+					t.Fatalf("%s %s: partitions %d/%d, want %d/%d",
+						spec.Name(), strat.Name(), st.Partitions, st.Requested, want, req)
+				}
+				if st.Strategy != strat.Name() {
+					t.Fatalf("%s: stats name %q, want %q", spec.Name(), st.Strategy, strat.Name())
+				}
+				owned := 0
+				for part, sub := range plan.SubTensors() {
+					if len(sub.RegSlots) == 0 {
+						t.Fatalf("%s %s n=%d: partition %d owns no registers",
+							spec.Name(), strat.Name(), req, part)
+					}
+					owned += len(sub.RegSlots)
+				}
+				if owned != nRegs {
+					t.Fatalf("%s %s n=%d: %d of %d registers owned",
+						spec.Name(), strat.Name(), req, owned, nRegs)
+				}
+				if len(st.PartitionOps) != st.Partitions {
+					t.Fatalf("%s %s: %d op counts for %d partitions",
+						spec.Name(), strat.Name(), len(st.PartitionOps), st.Partitions)
+				}
+				if strat.Name() != (partition.RoundRobin{}).Name() &&
+					!partition.WithinBalance(st.PartitionOps, maxCone) {
+					t.Fatalf("%s %s n=%d: unbalanced partitions %v (max cone %d)",
+						spec.Name(), strat.Name(), req, st.PartitionOps, maxCone)
+				}
+			}
+		}
+	}
+}

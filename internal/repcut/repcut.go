@@ -10,14 +10,20 @@
 //
 // The package mirrors the compile-once architecture of internal/kernel:
 //
-//   - [NewPlan] partitions a design once, kernel-independently: ownership,
-//     cone marking, per-partition sub-tensors, and the reader-indexed RUM.
+//   - [NewPlan] partitions a design once, kernel-independently: ownership
+//     (delegated to a pluggable [partition.Strategy]), cone marking,
+//     per-partition sub-tensors, and the reader-indexed RUM.
 //   - [Plan.Lower] lowers the sub-tensors into shareable [kernel.Program]s
 //     for one kernel configuration — also once.
 //   - [Plan.Instantiate] mints any number of runnable [Instance]s over
 //     those programs. Each instance owns only mutable state plus one
 //     persistent worker goroutine per partition, so instances are cheap and
 //     may run concurrently.
+//
+// Everything downstream of the ownership vector — cones, sub-tensors, RUM,
+// stats — is assignment-agnostic: any valid owner vector yields a correct
+// (bit-identical) parallel simulation, and the strategy choice only moves
+// the replication/cut/balance trade-off.
 package repcut
 
 import (
@@ -28,6 +34,7 @@ import (
 	"rteaal/internal/dfg"
 	"rteaal/internal/kernel"
 	"rteaal/internal/oim"
+	"rteaal/internal/partition"
 )
 
 // Plan is the immutable, kernel-independent partitioning of one design:
@@ -67,6 +74,8 @@ type rumEntry struct {
 // PlanStats summarises a partition plan: the replication the cuts cost and
 // the cut size the differential exchange pays every cycle.
 type PlanStats struct {
+	// Strategy names the ownership assignment that produced the plan.
+	Strategy string
 	// Partitions is the actual partition count; Requested is what the
 	// caller asked for before clamping to the register count.
 	Partitions, Requested int
@@ -78,20 +87,27 @@ type PlanStats struct {
 	// CutSize counts register→reader edges crossing partitions: the number
 	// of occupied RUM points exchanged after every commit.
 	CutSize int
-	// MaxPartitionOps and MinPartitionOps measure cone load balance.
+	// PartitionOps lists each partition's cone op count; MaxPartitionOps
+	// and MinPartitionOps summarise the load balance.
+	PartitionOps                     []int
 	MaxPartitionOps, MinPartitionOps int
 }
 
-// NewPlan partitions the design into n parts. Registers and outputs are
-// distributed round-robin; each partition's sub-tensor contains exactly the
-// cone of operations its registers and assigned outputs need
+// NewPlan partitions the design into n parts. Register ownership is decided
+// by the given strategy (nil selects [partition.Default], the min-cut
+// refinement); each output is sampled by the partition owning the plurality
+// of the registers its cone reads, and each partition's sub-tensor contains
+// exactly the cone of operations its registers and assigned outputs need
 // (replication-aided partitioning: shared logic is copied). A request for
 // more partitions than registers is clamped — empty partitions would spin
 // workers with no work — so the effective count is reported by
 // [Plan.Partitions] and [PlanStats.Partitions].
-func NewPlan(t *oim.Tensor, n int) (*Plan, error) {
+func NewPlan(t *oim.Tensor, n int, strat partition.Strategy) (*Plan, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("repcut: need at least one partition, got %d", n)
+	}
+	if strat == nil {
+		strat = partition.Default()
 	}
 	requested := n
 	n = min(n, max(len(t.RegSlots), 1))
@@ -99,7 +115,6 @@ func NewPlan(t *oim.Tensor, n int) (*Plan, error) {
 	p := &Plan{
 		t:         t,
 		ownedRegs: make([][]int, n),
-		regOwner:  make([]int, len(t.RegSlots)),
 		outOwner:  make([]int, len(t.OutputSlots)),
 		readers:   make([][]int, len(t.RegSlots)),
 		rum:       make([][]rumEntry, n),
@@ -115,14 +130,66 @@ func NewPlan(t *oim.Tensor, n int) (*Plan, error) {
 		}
 	}
 
-	// Ownership.
-	for i := range t.RegSlots {
-		p.regOwner[i] = i % n
-		p.ownedRegs[i%n] = append(p.ownedRegs[i%n], i)
+	// Register ownership: the strategy's call. Everything below is a pure
+	// function of this vector.
+	owner, err := strat.Assign(t, n)
+	if err != nil {
+		return nil, fmt.Errorf("repcut: %w", err)
 	}
-	for i, slot := range t.OutputSlots {
-		p.outOwner[i] = i % n
-		p.slotAuth[slot] = i % n
+	if err := partition.Validate(owner, len(t.RegSlots), n); err != nil {
+		return nil, fmt.Errorf("repcut: strategy %s: %w", strat.Name(), err)
+	}
+	p.regOwner = owner
+	for ri, part := range owner {
+		p.ownedRegs[part] = append(p.ownedRegs[part], ri)
+	}
+
+	// Output ownership: sample each output in the partition that owns the
+	// plurality of the registers its cone reads, so the sampling partition
+	// replicates as little extra logic as possible. Outputs reading no
+	// registers scatter round-robin.
+	regOf := make(map[int32]int, len(t.RegSlots))
+	for ri, r := range t.RegSlots {
+		regOf[r.Q] = ri
+	}
+	seen := make(map[int32]bool)
+	var stack []int32
+	for oi, slot := range t.OutputSlots {
+		clear(seen)
+		votes := make([]int, n)
+		sawReg := false
+		stack = append(stack[:0], slot)
+		seen[slot] = true
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if ri, ok := regOf[s]; ok {
+				votes[owner[ri]]++
+				sawReg = true
+				continue
+			}
+			at, ok := producer[s]
+			if !ok {
+				continue
+			}
+			for _, arg := range t.Layers[at.layer][at.idx].Args {
+				if !seen[arg] {
+					seen[arg] = true
+					stack = append(stack, arg)
+				}
+			}
+		}
+		part := oi % n
+		if sawReg {
+			part = 0
+			for q := 1; q < n; q++ {
+				if votes[q] > votes[part] {
+					part = q
+				}
+			}
+		}
+		p.outOwner[oi] = part
+		p.slotAuth[slot] = part
 	}
 
 	// Per-partition cone marking and sub-tensor construction.
@@ -212,13 +279,16 @@ func NewPlan(t *oim.Tensor, n int) (*Plan, error) {
 
 	// Stats.
 	p.stats = PlanStats{
+		Strategy:        strat.Name(),
 		Partitions:      n,
 		Requested:       requested,
 		TotalOps:        t.TotalOps(),
+		PartitionOps:    make([]int, 0, n),
 		MinPartitionOps: p.subs[0].TotalOps(),
 	}
 	for _, sub := range p.subs {
 		ops := sub.TotalOps()
+		p.stats.PartitionOps = append(p.stats.PartitionOps, ops)
 		p.stats.ReplicatedOps += ops
 		p.stats.MaxPartitionOps = max(p.stats.MaxPartitionOps, ops)
 		p.stats.MinPartitionOps = min(p.stats.MinPartitionOps, ops)
@@ -238,7 +308,11 @@ func NewPlan(t *oim.Tensor, n int) (*Plan, error) {
 func (p *Plan) Partitions() int { return len(p.subs) }
 
 // Stats reports the plan's replication and cut figures.
-func (p *Plan) Stats() PlanStats { return p.stats }
+func (p *Plan) Stats() PlanStats {
+	st := p.stats
+	st.PartitionOps = append([]int(nil), p.stats.PartitionOps...)
+	return st
+}
 
 // Tensor returns the unpartitioned design tensor. Read-only.
 func (p *Plan) Tensor() *oim.Tensor { return p.t }
@@ -248,6 +322,9 @@ func (p *Plan) SubTensors() []*oim.Tensor { return p.subs }
 
 // RegOwner reports the partition owning register ri (t.RegSlots order).
 func (p *Plan) RegOwner(ri int) int { return p.regOwner[ri] }
+
+// OutOwner reports the partition sampling output oi (t.OutputSlots order).
+func (p *Plan) OutOwner(oi int) int { return p.outOwner[oi] }
 
 // RegReaders reports the partitions, other than the owner, whose cones read
 // register ri — exactly the destinations the RUM exchange updates.

@@ -8,6 +8,7 @@ import (
 	"rteaal/internal/dfg"
 	"rteaal/internal/kernel"
 	"rteaal/internal/oim"
+	"rteaal/internal/partition"
 	"rteaal/internal/wire"
 )
 
@@ -27,7 +28,7 @@ func build(t *testing.T, g *dfg.Graph) *oim.Tensor {
 // instantiate runs the full plan → lower → instantiate path.
 func instantiate(t *testing.T, ten *oim.Tensor, parts int, kind kernel.Kind) (*Plan, *Instance) {
 	t.Helper()
-	plan, err := NewPlan(ten, parts)
+	plan, err := NewPlan(ten, parts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestInstancesShareAPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 	ten := build(t, opt)
-	plan, err := NewPlan(ten, 3)
+	plan, err := NewPlan(ten, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,9 +166,11 @@ func TestReplicationGrowsWithPartitions(t *testing.T) {
 		t.Fatal(err)
 	}
 	ten := build(t, opt)
+	// Monotone growth is a property of the structure-blind baseline; the
+	// clustering strategies exist precisely to bend this curve down.
 	prev := 0.0
 	for _, parts := range []int{1, 2, 4, 8} {
-		plan, err := NewPlan(ten, parts)
+		plan, err := NewPlan(ten, parts, partition.RoundRobin{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,10 +196,10 @@ func TestRejectsZeroPartitions(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	g := dfg.RandomGraph(rng, dfg.DefaultRandomParams())
 	ten := build(t, g)
-	if _, err := NewPlan(ten, 0); err == nil {
+	if _, err := NewPlan(ten, 0, nil); err == nil {
 		t.Fatal("want error for zero partitions")
 	}
-	if _, err := NewPlan(ten, -3); err == nil {
+	if _, err := NewPlan(ten, -3, nil); err == nil {
 		t.Fatal("want error for negative partitions")
 	}
 }
@@ -213,7 +216,7 @@ func TestClampsPartitionsToRegisters(t *testing.T) {
 	if nRegs == 0 {
 		t.Skip("generator produced no registers")
 	}
-	plan, err := NewPlan(ten, nRegs+5)
+	plan, err := NewPlan(ten, nRegs+5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +259,7 @@ func splitGraph(coupled bool) *dfg.Graph {
 // if that partition's cone reads it.
 func TestDifferentialRUMReaderLists(t *testing.T) {
 	// Independent halves: no register crosses the cut at all.
-	plan, err := NewPlan(build(t, splitGraph(false)), 2)
+	plan, err := NewPlan(build(t, splitGraph(false)), 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +273,7 @@ func TestDifferentialRUMReaderLists(t *testing.T) {
 	}
 
 	// Coupled: partition 1 (owner of rb) reads ra, and nothing else crosses.
-	plan, err = NewPlan(build(t, splitGraph(true)), 2)
+	plan, err = NewPlan(build(t, splitGraph(true)), 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +303,7 @@ func TestRUMReadersMatchConeMembership(t *testing.T) {
 			t.Fatal(err)
 		}
 		ten := build(t, opt)
-		plan, err := NewPlan(ten, 3)
+		plan, err := NewPlan(ten, 3, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +320,7 @@ func TestRUMReadersMatchConeMembership(t *testing.T) {
 				refs[r.Next] = true
 			}
 			for oi, slot := range sub.OutputSlots {
-				if oi%plan.Partitions() == part {
+				if plan.OutOwner(oi) == part {
 					refs[slot] = true
 				}
 			}
@@ -342,7 +345,7 @@ func TestRUMReadersMatchConeMembership(t *testing.T) {
 // TestInstantiateRejectsForeignPrograms guards the plan/program pairing.
 func TestInstantiateRejectsForeignPrograms(t *testing.T) {
 	ten := build(t, splitGraph(true))
-	plan, err := NewPlan(ten, 2)
+	plan, err := NewPlan(ten, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +356,7 @@ func TestInstantiateRejectsForeignPrograms(t *testing.T) {
 	if _, err := plan.Instantiate(progs[:1]); err == nil {
 		t.Fatal("short program list accepted")
 	}
-	other, err := NewPlan(ten, 2)
+	other, err := NewPlan(ten, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,8 @@ type config struct {
 	passes      OptPasses
 	waveform    bool
 	unoptFormat bool
-	partitions  int // 0 = unpartitioned
+	partitions  int               // 0 = unpartitioned
+	strategy    PartitionStrategy // zero value = MinCut
 }
 
 // Option configures compilation. Options are applied in order; later options
@@ -58,7 +59,9 @@ func WithUnoptimizedFormat() Option {
 // The partition plan and per-partition kernel programs are built once at
 // compile time; sessions stay cheap. Partitioned sessions serve the same
 // [Session] surface — including [Pool] checkout — and produce traces
-// bit-identical to unpartitioned sessions.
+// bit-identical to unpartitioned sessions. Which registers share a
+// partition is decided by the strategy selected with
+// [WithPartitionStrategy] ([MinCut] by default).
 //
 // A request exceeding the register count is clamped; [Design.PartitionStats]
 // reports the effective count, replication factor, and cut size. n < 1 is a
@@ -166,7 +169,11 @@ func CompileGraph(g *dfg.Graph, opts ...Option) (*Design, error) {
 		d.outputs[n] = i
 	}
 	if cfg.partitions > 0 {
-		plan, err := repcut.NewPlan(t, cfg.partitions)
+		strat, err := cfg.strategy.impl()
+		if err != nil {
+			return nil, err
+		}
+		plan, err := repcut.NewPlan(t, cfg.partitions, strat)
 		if err != nil {
 			return nil, err
 		}
@@ -273,10 +280,12 @@ func (d *Design) PartitionStats() (stats PartitionStats, ok bool) {
 	}
 	st := d.plan.Stats()
 	return PartitionStats{
+		Strategy:          st.Strategy,
 		Partitions:        st.Partitions,
 		Requested:         st.Requested,
 		ReplicationFactor: st.ReplicationFactor,
 		CutSize:           st.CutSize,
+		PartitionOps:      st.PartitionOps,
 		MaxPartitionOps:   st.MaxPartitionOps,
 		MinPartitionOps:   st.MinPartitionOps,
 	}, true
@@ -286,6 +295,9 @@ func (d *Design) PartitionStats() (stats PartitionStats, ok bool) {
 // replication-aided cuts cost in duplicated logic and what the differential
 // register exchange pays every cycle.
 type PartitionStats struct {
+	// Strategy names the ownership assignment that produced the plan (see
+	// [WithPartitionStrategy]).
+	Strategy string
 	// Partitions is the effective partition count; Requested is the
 	// [WithPartitions] argument before clamping to the register count.
 	Partitions, Requested int
@@ -295,7 +307,9 @@ type PartitionStats struct {
 	// CutSize counts register→reader edges crossing partitions: the
 	// occupied RUM points exchanged after every commit.
 	CutSize int
-	// MaxPartitionOps and MinPartitionOps measure cone load balance.
+	// PartitionOps lists each partition's cone op count; MaxPartitionOps
+	// and MinPartitionOps summarise the load balance.
+	PartitionOps                     []int
 	MaxPartitionOps, MinPartitionOps int
 }
 
