@@ -38,7 +38,7 @@ func runExp(b *testing.B, f func(w io.Writer, c bench.Config) error) {
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := bench.Table1(io.Discard); err != nil {
+		if err := bench.Table1(io.Discard, benchCfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -46,7 +46,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Table3(io.Discard)
+		bench.Table3(io.Discard, benchCfg)
 	}
 }
 
@@ -294,6 +294,53 @@ func BenchmarkSimBatchStep1(b *testing.B)  { benchSimBatchStep(b, 1) }
 func BenchmarkSimBatchStep4(b *testing.B)  { benchSimBatchStep(b, 4) }
 func BenchmarkSimBatchStep16(b *testing.B) { benchSimBatchStep(b, 16) }
 func BenchmarkSimBatchStep64(b *testing.B) { benchSimBatchStep(b, 64) }
+
+// benchKernelBatch drives the batch engine directly and reports delivered
+// lane-cycles/second: b.N steps × lanes over wall clock. scalar selects the
+// pre-schedule reference loop retained for the perf trajectory.
+func benchKernelBatch(b *testing.B, lanes, workers int, scalar bool) {
+	_, t := benchDesign(b)
+	prog, err := kernel.NewProgram(t, kernel.Config{Kind: kernel.PSU})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bt, err := prog.InstantiateBatchParallel(lanes, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bt.Close()
+	rng := rand.New(rand.NewSource(1))
+	for lane := 0; lane < lanes; lane++ {
+		for i := range t.InputSlots {
+			bt.PokeInput(lane, i, rng.Uint64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if scalar {
+			bt.StepReference()
+		} else {
+			bt.Step()
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)*float64(lanes)/s, "lane-cycles/s")
+	}
+}
+
+// BenchmarkBatchStep is the single-thread fused fast path; its scalar
+// sibling is the pre-schedule loop it replaced. The ratio of their
+// lane-cycles/s is the figure BENCH_*.json tracks PR-over-PR.
+func BenchmarkBatchStep(b *testing.B)       { benchKernelBatch(b, 64, 1, false) }
+func BenchmarkBatchStepScalar(b *testing.B) { benchKernelBatch(b, 64, 1, true) }
+
+// BenchmarkBatchParallel shards 256 lanes over persistent lane workers; the
+// workers=1 row is the scaling baseline.
+func BenchmarkBatchParallel1(b *testing.B) { benchKernelBatch(b, 256, 1, false) }
+func BenchmarkBatchParallel2(b *testing.B) { benchKernelBatch(b, 256, 2, false) }
+func BenchmarkBatchParallel4(b *testing.B) { benchKernelBatch(b, 256, 4, false) }
+func BenchmarkBatchParallel8(b *testing.B) { benchKernelBatch(b, 256, 8, false) }
 
 func BenchmarkSimPoolCheckout(b *testing.B) {
 	d := benchSimDesign(b)

@@ -2,14 +2,22 @@
 //
 //	rteaal-bench all
 //	rteaal-bench -scale 8 table5 figure16 figure20
+//	rteaal-bench -json BENCH.json throughput batch
 //
 // The extra "throughput" experiment (not from the paper) measures the
 // serving path of the public sim package: single-session stepping versus
 // RepCut-partitioned sessions versus SoA multi-lane batches versus a
-// session pool drained by parallel workers. "partitions" is the RepCut
-// strong-scaling study (speedup vs. replication and cut size, per
-// partition strategy), and "partition-quality" sweeps strategy × partition
-// count across the benchmark designs.
+// session pool drained by parallel workers. "batch" is the lane-sharded
+// batch engine study (fused schedule vs the pre-schedule scalar loop, and
+// worker scaling). "partitions" is the RepCut strong-scaling study
+// (speedup vs. replication and cut size, per partition strategy, with and
+// without OS-thread pinning), and "partition-quality" sweeps strategy ×
+// partition count across the benchmark designs.
+//
+// With -json <path>, every experiment's results are additionally emitted
+// as one machine-readable document: {experiment, design, metric, value,
+// unit} rows plus host parallelism metadata. Committing that file as
+// BENCH_<PR>.json is how the repository tracks its perf trajectory.
 package main
 
 import (
@@ -25,17 +33,22 @@ import (
 
 	"rteaal/internal/bench"
 	"rteaal/internal/gen"
+	"rteaal/internal/repcut"
 	"rteaal/sim"
 )
 
 func main() {
 	scale := flag.Int("scale", 8, "design scale divisor for perf-model experiments")
+	jsonPath := flag.String("json", "", "also write every experiment's results as JSON to this path")
 	flag.Parse()
 	c := bench.Config{Scale: *scale}
+	if *jsonPath != "" {
+		c.Rec = bench.NewRecorder()
+	}
 
 	experiments := map[string]func() error{
-		"table1":            func() error { return bench.Table1(os.Stdout) },
-		"table3":            func() error { bench.Table3(os.Stdout); return nil },
+		"table1":            func() error { return bench.Table1(os.Stdout, c) },
+		"table3":            func() error { bench.Table3(os.Stdout, c); return nil },
 		"figure7":           func() error { return bench.Figure7(os.Stdout, c) },
 		"figure8":           func() error { return bench.Figure8(os.Stdout, c) },
 		"table4":            func() error { return bench.Table4(os.Stdout, c) },
@@ -50,6 +63,7 @@ func main() {
 		"figure21":          func() error { return bench.Figure21(os.Stdout, c) },
 		"table7":            func() error { return bench.Table7(os.Stdout, c) },
 		"throughput":        func() error { return throughput(c) },
+		"batch":             func() error { return bench.BatchSweep(os.Stdout, c) },
 		"partitions":        func() error { return partitionScaling(c) },
 		"partition-quality": func() error { return bench.PartitionQuality(os.Stdout, c) },
 	}
@@ -68,12 +82,26 @@ func main() {
 		}
 		f, ok := experiments[name]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, partitions, partition-quality, all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, batch, partitions, partition-quality, all)", name))
 		}
 		if err := f(); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
+	}
+	if c.Rec != nil {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.Rec.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(c.Rec.Results()), *jsonPath)
 	}
 }
 
@@ -110,6 +138,7 @@ func throughput(c bench.Config) error {
 	el := time.Since(start)
 	base := float64(cycles) / el.Seconds()
 	fmt.Printf("  %-22s %12.0f cycles/s\n", "session x1", base)
+	c.Rec.Add("throughput", st.Design, "session_cycles_per_sec", base, "cycles/s")
 
 	// Partitioned sessions: RepCut threads accelerate one instance.
 	for _, parts := range []int{2, 4} {
@@ -134,18 +163,23 @@ func throughput(c bench.Config) error {
 		pst, _ := pd.PartitionStats()
 		fmt.Printf("  %-22s %12.0f cycles/s       (%.1fx one session, replication %.2fx)\n",
 			fmt.Sprintf("session x1, %d parts", pst.Partitions), rate, rate/base, pst.ReplicationFactor)
+		c.Rec.Add("throughput", st.Design,
+			fmt.Sprintf("partitioned_cycles_per_sec/parts_%d", pst.Partitions), rate, "cycles/s")
 	}
 
-	// Batches: lock-step lanes multiply delivered simulation cycles.
-	for _, lanes := range []int{4, 16, 64} {
-		b, err := d.NewBatch(lanes)
+	// Batches: lock-step lanes multiply delivered simulation cycles; the
+	// last configurations shard the lanes over persistent workers.
+	for _, shape := range []struct{ lanes, workers int }{
+		{4, 1}, {16, 1}, {64, 1}, {64, 2}, {64, 4},
+	} {
+		b, err := d.NewBatchParallel(shape.lanes, shape.workers)
 		if err != nil {
 			return err
 		}
 		rng := rand.New(rand.NewSource(1))
 		start := time.Now()
 		for i := 0; i < cycles; i++ {
-			for l := 0; l < lanes; l++ {
+			for l := 0; l < shape.lanes; l++ {
 				for j := 0; j < nIn; j++ {
 					b.PokeIndex(l, j, rng.Uint64())
 				}
@@ -153,9 +187,16 @@ func throughput(c bench.Config) error {
 			b.Step()
 		}
 		el := time.Since(start)
-		lane := float64(cycles*lanes) / el.Seconds()
-		fmt.Printf("  %-22s %12.0f lane-cycles/s  (%.1fx one session)\n",
-			fmt.Sprintf("batch x%d", lanes), lane, lane/base)
+		b.Close()
+		lane := float64(cycles*shape.lanes) / el.Seconds()
+		label := fmt.Sprintf("batch x%d", shape.lanes)
+		if shape.workers > 1 {
+			label = fmt.Sprintf("batch x%d, %d workers", shape.lanes, shape.workers)
+		}
+		fmt.Printf("  %-22s %12.0f lane-cycles/s  (%.1fx one session)\n", label, lane, lane/base)
+		c.Rec.Add("throughput", st.Design,
+			fmt.Sprintf("batch_lane_cycles_per_sec/lanes_%d/workers_%d", shape.lanes, shape.workers),
+			lane, "lane-cycles/s")
 	}
 
 	// Pool: independent sessions on all cores.
@@ -190,6 +231,7 @@ func throughput(c bench.Config) error {
 	agg := float64(cycles*workers) / el.Seconds()
 	fmt.Printf("  %-22s %12.0f session-cycles/s  (%.1fx one session, %d workers)\n",
 		fmt.Sprintf("pool x%d", workers), agg, agg/base, workers)
+	c.Rec.Add("throughput", st.Design, "pool_session_cycles_per_sec", agg, "cycles/s")
 	return nil
 }
 
@@ -197,6 +239,8 @@ func throughput(c bench.Config) error {
 // design, growing partition counts, reporting wall-clock speedup per
 // partition strategy against the cost side of the trade — the
 // ReplicationFactor and CutSize columns explain why a row wins or loses.
+// Every configuration runs with partition workers pinned to OS threads
+// (the default) and unpinned, the before/after of the core-pinning change.
 func partitionScaling(c bench.Config) error {
 	g, _, err := bench.Build(gen.Spec{Family: gen.Rocket, Cores: 4, Scale: c.Scale})
 	if err != nil {
@@ -205,15 +249,18 @@ func partitionScaling(c bench.Config) error {
 	const cycles = 1000
 	fmt.Printf("partitions: RepCut scaling on r4/%d, PSU kernel, %d cycles (GOMAXPROCS=%d)\n",
 		c.Scale, cycles, runtime.GOMAXPROCS(0))
-	fmt.Printf("  %-6s %-13s %-12s %-10s %-12s %-8s %s\n",
-		"parts", "strategy", "cycles/s", "speedup", "replication", "cut", "ops max/min")
-	run := func(parts int, opts ...sim.Option) (float64, sim.PartitionStats, error) {
+	fmt.Printf("  %-6s %-13s %-8s %-12s %-10s %-12s %-8s %s\n",
+		"parts", "strategy", "pinned", "cycles/s", "speedup", "replication", "cut", "ops max/min")
+	run := func(parts int, pinned bool, opts ...sim.Option) (float64, sim.PartitionStats, error) {
 		d, err := sim.CompileGraph(g, append(opts, sim.WithKernel(sim.PSU), sim.WithPartitions(parts))...)
 		if err != nil {
 			return 0, sim.PartitionStats{}, err
 		}
 		st, _ := d.PartitionStats()
-		s := d.NewSession()
+		prev := repcut.PinWorkers.Load()
+		repcut.PinWorkers.Store(pinned)
+		s := d.NewSession() // instantiates synchronously; reads PinWorkers once
+		repcut.PinWorkers.Store(prev)
 		nIn := len(d.Inputs())
 		rng := rand.New(rand.NewSource(1))
 		start := time.Now()
@@ -229,20 +276,27 @@ func partitionScaling(c bench.Config) error {
 		s.Close()
 		return float64(cycles) / el.Seconds(), st, nil
 	}
-	base, _, err := run(1)
+	base, _, err := run(1, true)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %-6d %-13s %-12.0f %-10.2f %-12.2f %-8d -\n", 1, "-", base, 1.0, 1.0, 0)
+	design := fmt.Sprintf("r4/%d", c.Scale)
+	fmt.Printf("  %-6d %-13s %-8s %-12.0f %-10.2f %-12.2f %-8d -\n", 1, "-", "-", base, 1.0, 1.0, 0)
+	c.Rec.Add("partitions", design, "cycles_per_sec/sequential", base, "cycles/s")
 	for _, parts := range []int{2, 4, 8} {
 		for _, strat := range sim.PartitionStrategies() {
-			rate, st, err := run(parts, sim.WithPartitionStrategy(strat))
-			if err != nil {
-				return err
+			for _, pinned := range []bool{false, true} {
+				rate, st, err := run(parts, pinned, sim.WithPartitionStrategy(strat))
+				if err != nil {
+					return err
+				}
+				fmt.Printf("  %-6d %-13s %-8t %-12.0f %-10.2f %-12.2f %-8d %d/%d\n",
+					st.Partitions, st.Strategy, pinned, rate, rate/base, st.ReplicationFactor,
+					st.CutSize, st.MaxPartitionOps, st.MinPartitionOps)
+				c.Rec.Add("partitions", design,
+					fmt.Sprintf("cycles_per_sec/%s/parts_%d/pinned_%t", st.Strategy, st.Partitions, pinned),
+					rate, "cycles/s")
 			}
-			fmt.Printf("  %-6d %-13s %-12.0f %-10.2f %-12.2f %-8d %d/%d\n",
-				st.Partitions, st.Strategy, rate, rate/base, st.ReplicationFactor, st.CutSize,
-				st.MaxPartitionOps, st.MinPartitionOps)
 		}
 	}
 	return nil

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"rteaal/internal/gen"
+	"rteaal/internal/kernel"
+)
+
+// BatchSweep is the lane-sharded batch engine study (not from the paper):
+// on the benchmark SoC designs it measures delivered lane-cycles/second for
+// (1) a single session, the one-lane baseline, (2) the pre-schedule scalar
+// batch loop retained as [kernel.Batch.StepReference], (3) the fused
+// batch-specialised schedule on one thread, and (4) the fused schedule
+// sharded over persistent lane workers. The fused-vs-scalar ratio and the
+// worker scaling curve are the two figures the BENCH_*.json trajectory
+// tracks PR-over-PR; scaling rows are only meaningful relative to
+// GOMAXPROCS, which the JSON document records alongside.
+func BatchSweep(w io.Writer, c Config) error {
+	c = c.norm()
+	const (
+		seqLanes   = 64
+		parLanes   = 256
+		seqCycles  = 200
+		parCycles  = 60
+		baseCycles = 2000
+	)
+	specs := []gen.Spec{
+		{Family: gen.Rocket, Cores: 1, Scale: c.Scale},
+		{Family: gen.Boom, Cores: 1, Scale: c.Scale},
+	}
+	fmt.Fprintf(w, "batch: lane-sharded batch engine, PSU kernel (GOMAXPROCS=%d)\n",
+		runtime.GOMAXPROCS(0))
+	// The speedup column is relative to each group's own baseline: the
+	// scalar loop for the fused row, the workers=1 run for parallel rows
+	// (each group's baseline prints 1.00x).
+	fmt.Fprintf(w, "%-10s %-24s %8s %8s %16s %10s\n",
+		"design", "engine", "lanes", "workers", "lane-cycles/s", "speedup")
+	for _, spec := range specs {
+		_, ten, err := Build(spec)
+		if err != nil {
+			return err
+		}
+		prog, err := kernel.NewProgram(ten, kernel.Config{Kind: kernel.PSU})
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s/%d", spec.Name(), c.Scale)
+		row := func(engine string, lanes, workers int, rate, base float64) {
+			rel := "-"
+			if base > 0 {
+				rel = fmt.Sprintf("%8.2fx", rate/base)
+			}
+			fmt.Fprintf(w, "%-10s %-24s %8d %8d %16.0f %10s\n",
+				name, engine, lanes, workers, rate, rel)
+		}
+
+		// One-lane baseline: a session stepping on the caller's goroutine.
+		sess := timeEngine(prog.Instantiate(), len(ten.InputSlots), baseCycles)
+		row("session x1", 1, 1, sess, 0)
+		c.Rec.Add("batch", name, "session_cycles_per_sec", sess, "cycles/s")
+
+		// The pre-schedule scalar loop this PR replaced.
+		scalar, err := timeBatch(prog, seqLanes, 1, seqCycles, true)
+		if err != nil {
+			return err
+		}
+		row("batch scalar (pre-PR)", seqLanes, 1, scalar, scalar)
+		c.Rec.Add("batch", name, "scalar_lane_cycles_per_sec", scalar, "lane-cycles/s")
+
+		// The fused schedule, single thread.
+		fused, err := timeBatch(prog, seqLanes, 1, seqCycles, false)
+		if err != nil {
+			return err
+		}
+		row("batch fused", seqLanes, 1, fused, scalar)
+		c.Rec.Add("batch", name, "fused_lane_cycles_per_sec", fused, "lane-cycles/s")
+		c.Rec.Add("batch", name, "fused_speedup_vs_scalar", fused/scalar, "x")
+
+		// Lane sharding over persistent workers.
+		var base float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			rate, err := timeBatch(prog, parLanes, workers, parCycles, false)
+			if err != nil {
+				return err
+			}
+			if workers == 1 {
+				base = rate
+			}
+			row("batch parallel", parLanes, workers, rate, base)
+			c.Rec.Add("batch", name,
+				fmt.Sprintf("parallel_lane_cycles_per_sec/workers_%d", workers),
+				rate, "lane-cycles/s")
+			if workers > 1 && base > 0 {
+				c.Rec.Add("batch", name,
+					fmt.Sprintf("parallel_scaling/workers_%d_vs_1", workers),
+					rate/base, "x")
+			}
+		}
+	}
+	return nil
+}
+
+// timeBatch drives a batch with seeded random stimulus and reports
+// delivered lane-cycles/second. scalar selects the pre-schedule reference
+// loop.
+func timeBatch(prog *kernel.Program, lanes, workers, cycles int, scalar bool) (float64, error) {
+	b, err := prog.InstantiateBatchParallel(lanes, workers)
+	if err != nil {
+		return 0, err
+	}
+	defer b.Close()
+	rng := rand.New(rand.NewSource(1))
+	nIn := len(b.Tensor().InputSlots)
+	for lane := 0; lane < lanes; lane++ {
+		for i := 0; i < nIn; i++ {
+			b.PokeInput(lane, i, rng.Uint64())
+		}
+	}
+	step := (*kernel.Batch).Step
+	if scalar {
+		step = (*kernel.Batch).StepReference
+	}
+	step(b) // warm the schedule and page in the SoA store
+	start := time.Now()
+	for c := 0; c < cycles; c++ {
+		step(b)
+	}
+	el := time.Since(start)
+	if el <= 0 {
+		el = time.Nanosecond
+	}
+	return float64(cycles) * float64(lanes) / el.Seconds(), nil
+}

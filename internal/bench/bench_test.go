@@ -39,7 +39,7 @@ func TestExperimentsRunAndRender(t *testing.T) {
 		run  func(w *strings.Builder) error
 		want []string
 	}{
-		{"table3", func(w *strings.Builder) error { Table3(w); return nil },
+		{"table3", func(w *strings.Builder) error { Table3(w, c); return nil },
 			[]string{"sha3", "1200"}},
 		{"figure7", func(w *strings.Builder) error { return Figure7(w, c) },
 			[]string{"verilator", "essent", "frontend%"}},

@@ -15,7 +15,7 @@ import (
 
 // Table1 reproduces the identity-vs-effectual operation accounting. It uses
 // full-size designs (static analysis only).
-func Table1(w io.Writer) error {
+func Table1(w io.Writer, c Config) error {
 	fmt.Fprintln(w, "Table 1: required identity operations (before elision)")
 	fmt.Fprintf(w, "%-12s %16s %16s %8s\n", "design", "effectual", "identity", "ratio")
 	for _, spec := range []gen.Spec{
@@ -39,12 +39,16 @@ func Table1(w io.Writer) error {
 		fmt.Fprintf(w, "%-12s %16d %16d %7.1fx\n",
 			spec.Name(), lv.EffectualOps, lv.IdentityOps,
 			float64(lv.IdentityOps)/float64(lv.EffectualOps))
+		c.Rec.Add("table1", spec.Name(), "effectual_ops", float64(lv.EffectualOps), "ops")
+		c.Rec.Add("table1", spec.Name(), "identity_ops", float64(lv.IdentityOps), "ops")
+		c.Rec.Add("table1", spec.Name(), "identity_ratio",
+			float64(lv.IdentityOps)/float64(lv.EffectualOps), "x")
 	}
 	return nil
 }
 
 // Table3 reproduces the workload cycle counts.
-func Table3(w io.Writer) {
+func Table3(w io.Writer, c Config) {
 	fmt.Fprintln(w, "Table 3: simulation cycles per design")
 	fmt.Fprintf(w, "%-12s %12s\n", "design", "cycles (K)")
 	for _, spec := range []gen.Spec{
@@ -56,6 +60,7 @@ func Table3(w io.Writer) {
 		{Family: gen.SHA3},
 	} {
 		fmt.Fprintf(w, "%-12s %12d\n", spec.Name(), spec.SimCycles()/1000)
+		c.Rec.Add("table3", spec.Name(), "sim_cycles", float64(spec.SimCycles()), "cycles")
 	}
 }
 
@@ -80,6 +85,8 @@ func Figure7(w io.Writer, c Config) error {
 			}
 			fmt.Fprintf(w, "%-10s %-10s %9.1f%% %9.1f%% %9.1f%%\n",
 				spec.Name(), style, 100*met.FrontendBound, 100*met.BadSpec, 100*met.Others)
+			c.Rec.Add("figure7", spec.Name(), fmt.Sprintf("frontend_bound/%s", style), 100*met.FrontendBound, "%")
+			c.Rec.Add("figure7", spec.Name(), fmt.Sprintf("bad_spec/%s", style), 100*met.BadSpec, "%")
 		}
 	}
 	return nil
@@ -100,6 +107,8 @@ func Figure8(w io.Writer, c Config) error {
 				}
 				cost := codegen.CompileModel(p, codegen.O3)
 				fmt.Fprintf(w, "%-10s %-10s %14.1f %14.2f\n", spec.Name(), style, cost.Seconds, cost.PeakGB)
+				c.Rec.Add("figure8", spec.Name(), fmt.Sprintf("compile_time/%s", style), cost.Seconds, "s")
+				c.Rec.Add("figure8", spec.Name(), fmt.Sprintf("compile_peak_mem/%s", style), cost.PeakGB, "GB")
 			}
 		}
 	}
@@ -117,7 +126,9 @@ func Table4(w io.Writer, c Config) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%-8s %12.2f\n", k, float64(codegen.BinarySize(p))/(1<<20))
+		sizeMB := float64(codegen.BinarySize(p)) / (1 << 20)
+		fmt.Fprintf(w, "%-8s %12.2f\n", k, sizeMB)
+		c.Rec.Add("table4", spec.Name(), fmt.Sprintf("binary_size/%s", k), sizeMB, "MB")
 	}
 	return nil
 }
@@ -134,6 +145,8 @@ func Table5(w io.Writer, c Config) error {
 			return err
 		}
 		fmt.Fprintf(w, "%-8s %16.3f %8.2f\n", k, met.DynInst/1e12, met.IPC)
+		c.Rec.Add("table5", spec.Name(), fmt.Sprintf("dyn_inst/%s", k), met.DynInst, "inst")
+		c.Rec.Add("table5", spec.Name(), fmt.Sprintf("ipc/%s", k), met.IPC, "inst/cycle")
 	}
 	return nil
 }
@@ -151,6 +164,8 @@ func Table6(w io.Writer, c Config) error {
 		}
 		fmt.Fprintf(w, "%-8s %14.2f %14.1f %14.2f\n", k,
 			met.L1IMisses/1e9, met.L1DLoads/1e9, met.L1DMisses/1e9)
+		c.Rec.Add("table6", spec.Name(), fmt.Sprintf("l1i_misses/%s", k), met.L1IMisses, "misses")
+		c.Rec.Add("table6", spec.Name(), fmt.Sprintf("l1d_misses/%s", k), met.L1DMisses, "misses")
 	}
 	return nil
 }
@@ -178,6 +193,8 @@ func Figure15(w io.Writer, c Config) error {
 		for _, m := range machines.All() {
 			fmt.Fprintf(w, "%-8s %-24s %12.1f %14.2f\n",
 				k, m.Name, cost.Seconds*hostFactor[m.Name], cost.PeakGB)
+			c.Rec.Add("figure15", spec.Name(), fmt.Sprintf("compile_time/%s/%s", k, shortName(m)),
+				cost.Seconds*hostFactor[m.Name], "s")
 		}
 	}
 	return nil
@@ -201,6 +218,8 @@ func Figure16(w io.Writer, c Config) error {
 				return err
 			}
 			fmt.Fprintf(w, " %13.1fs", met.SimTimeSec)
+			c.Rec.Add("figure16", spec.Name(), fmt.Sprintf("sim_time/%s/%s", k, shortName(m)),
+				met.SimTimeSec, "s")
 		}
 		fmt.Fprintln(w)
 	}
@@ -225,6 +244,7 @@ func Figure17(w io.Writer, c Config) error {
 				return err
 			}
 			fmt.Fprintf(w, " %8.1fs", met.SimTimeSec)
+			c.Rec.Add("figure17", s.Name(), fmt.Sprintf("sim_time/%s", k), met.SimTimeSec, "s")
 		}
 		fmt.Fprintln(w)
 	}
@@ -234,6 +254,10 @@ func Figure17(w io.Writer, c Config) error {
 // figure1819 shares the Verilator/PSU/ESSENT scaling sweep.
 func figure1819(w io.Writer, c Config, opt codegen.OptLevel, caption string) error {
 	c = c.norm()
+	exp := "figure18"
+	if opt == codegen.O0 {
+		exp = "figure19"
+	}
 	specs := rockets(c, 1, 4, 8, 12, 16, 20, 24)
 	fmt.Fprintln(w, caption)
 	fmt.Fprintf(w, "%-10s", "simulator")
@@ -249,6 +273,7 @@ func figure1819(w io.Writer, c Config, opt codegen.OptLevel, caption string) err
 				return err
 			}
 			fmt.Fprintf(w, " %8.1fs", met.SimTimeSec)
+			c.Rec.Add(exp, s.Name(), fmt.Sprintf("sim_time/%s", name), met.SimTimeSec, "s")
 		}
 		fmt.Fprintln(w)
 		return nil
@@ -312,6 +337,11 @@ func Figure20(w io.Writer, c Config) error {
 				}
 			}
 			fmt.Fprintf(w, "  %5.2fx(%-3s)|%5.2fx", best, bestKind, ver.SimTimeSec/ess.SimTimeSec)
+			c.Rec.Add("figure20", spec.Name(),
+				fmt.Sprintf("speedup_vs_verilator/%s/%s", bestKind, shortName(m)), best, "x")
+			c.Rec.Add("figure20", spec.Name(),
+				fmt.Sprintf("speedup_vs_verilator/essent/%s", shortName(m)),
+				ver.SimTimeSec/ess.SimTimeSec, "x")
 		}
 		fmt.Fprintln(w)
 	}
@@ -341,6 +371,10 @@ func Figure21(w io.Writer, c Config) error {
 		}
 		fmt.Fprintf(w, "%7.1fMB %11.2fx %11.2fx\n",
 			llcMB, ver.SimTimeSec/psu.SimTimeSec, ver.SimTimeSec/ess.SimTimeSec)
+		c.Rec.Add("figure21", spec.Name(), fmt.Sprintf("speedup_psu/llc_%.1fMB", llcMB),
+			ver.SimTimeSec/psu.SimTimeSec, "x")
+		c.Rec.Add("figure21", spec.Name(), fmt.Sprintf("speedup_essent/llc_%.1fMB", llcMB),
+			ver.SimTimeSec/ess.SimTimeSec, "x")
 	}
 	return nil
 }
@@ -366,12 +400,12 @@ func Table7(w io.Writer, c Config) error {
 		}
 	}
 	for _, part := range []struct {
-		what string
-		get  func(codegen.CompileCost) float64
-		unit string
+		what, metric string
+		get          func(codegen.CompileCost) float64
+		unit         string
 	}{
-		{"time (s)", func(c codegen.CompileCost) float64 { return c.Seconds }, "s"},
-		{"mem (GB)", func(c codegen.CompileCost) float64 { return c.PeakGB }, "GB"},
+		{"time (s)", "compile_time", func(c codegen.CompileCost) float64 { return c.Seconds }, "s"},
+		{"mem (GB)", "compile_peak_mem", func(c codegen.CompileCost) float64 { return c.PeakGB }, "GB"},
 	} {
 		fmt.Fprintf(w, "-- %s --\n", part.what)
 		for _, name := range []string{"verilator", "essent", "PSU"} {
@@ -381,7 +415,9 @@ func Table7(w io.Writer, c Config) error {
 				if err != nil {
 					return err
 				}
-				fmt.Fprintf(w, " %9.2f", part.get(codegen.CompileModel(p, codegen.O3)))
+				v := part.get(codegen.CompileModel(p, codegen.O3))
+				fmt.Fprintf(w, " %9.2f", v)
+				c.Rec.Add("table7", s.Name(), fmt.Sprintf("%s/%s", part.metric, name), v, part.unit)
 			}
 			fmt.Fprintln(w)
 		}
@@ -405,8 +441,8 @@ func shortName(m machines.Machine) string {
 // All runs every experiment in paper order.
 func All(w io.Writer, c Config) error {
 	steps := []func() error{
-		func() error { return Table1(w) },
-		func() error { Table3(w); return nil },
+		func() error { return Table1(w, c) },
+		func() error { Table3(w, c); return nil },
 		func() error { return Figure7(w, c) },
 		func() error { return Figure8(w, c) },
 		func() error { return Table4(w, c) },

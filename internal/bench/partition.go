@@ -42,9 +42,11 @@ func PartitionQuality(w io.Writer, c Config) error {
 			return err
 		}
 		base := timeEngine(prog.Instantiate(), len(ten.InputSlots), cycles)
+		name := fmt.Sprintf("%s/%d", spec.Name(), c.Scale)
 		fmt.Fprintf(w, "%-10s %-6d %-13s %12s %8s %14s %12.0f %9s\n",
-			fmt.Sprintf("%s/%d", spec.Name(), c.Scale), 1, "sequential", "1.00", "0",
+			name, 1, "sequential", "1.00", "0",
 			fmt.Sprintf("%d/%d", ten.TotalOps(), ten.TotalOps()), base, "1.00x")
+		c.Rec.Add("partition-quality", name, "cycles_per_sec/sequential", base, "cycles/s")
 		for _, n := range []int{2, 4, 8} {
 			for _, strat := range partition.All() {
 				plan, err := repcut.NewPlan(ten, n, strat)
@@ -63,10 +65,15 @@ func PartitionQuality(w io.Writer, c Config) error {
 				inst.Close()
 				st := plan.Stats()
 				fmt.Fprintf(w, "%-10s %-6d %-13s %12.2f %8d %14s %12.0f %8.2fx\n",
-					fmt.Sprintf("%s/%d", spec.Name(), c.Scale), st.Partitions, st.Strategy,
+					name, st.Partitions, st.Strategy,
 					st.ReplicationFactor, st.CutSize,
 					fmt.Sprintf("%d/%d", st.MaxPartitionOps, st.MinPartitionOps),
 					rate, rate/base)
+				c.Rec.Add("partition-quality", name,
+					fmt.Sprintf("cycles_per_sec/%s/parts_%d", st.Strategy, st.Partitions), rate, "cycles/s")
+				c.Rec.Add("partition-quality", name,
+					fmt.Sprintf("replication/%s/parts_%d", st.Strategy, st.Partitions),
+					st.ReplicationFactor, "x")
 			}
 		}
 	}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Result is one machine-readable data point of an experiment run: the
+// experiment that produced it, the design it measured, and a named metric
+// with its unit. The stream of results an invocation produces is the
+// BENCH_*.json perf trajectory committed PR-over-PR.
+type Result struct {
+	Experiment string  `json:"experiment"`
+	Design     string  `json:"design,omitempty"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit,omitempty"`
+}
+
+// Recorder accumulates results across experiments. A nil *Recorder is a
+// valid sink that drops everything, so experiments record unconditionally
+// through Config.Rec. Add is safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	results []Result
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add appends one data point. No-op on a nil recorder.
+func (r *Recorder) Add(experiment, design, metric string, value float64, unit string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results = append(r.results, Result{
+		Experiment: experiment,
+		Design:     design,
+		Metric:     metric,
+		Value:      value,
+		Unit:       unit,
+	})
+}
+
+// Results copies the accumulated data points.
+func (r *Recorder) Results() []Result {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Result(nil), r.results...)
+}
+
+// benchDoc is the JSON document WriteJSON emits. GoMaxProcs qualifies every
+// scaling row: a parallel speedup is only meaningful relative to the
+// parallelism the host actually offered.
+type benchDoc struct {
+	Schema     string   `json:"schema"`
+	GoMaxProcs int      `json:"go_max_procs"`
+	NumCPU     int      `json:"num_cpu"`
+	Results    []Result `json:"results"`
+}
+
+// WriteJSON emits every accumulated result with host metadata as one
+// indented JSON document.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := benchDoc{
+		Schema:     "rteaal-bench/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Results:    r.Results(),
+	}
+	if doc.Results == nil {
+		doc.Results = []Result{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

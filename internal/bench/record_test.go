@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderCollectsAndSerialises(t *testing.T) {
+	r := NewRecorder()
+	r.Add("batch", "r1/8", "fused_speedup_vs_scalar", 2.0, "x")
+	r.Add("throughput", "r1", "session_cycles_per_sec", 12345, "cycles/s")
+	if got := len(r.Results()); got != 2 {
+		t.Fatalf("results = %d, want 2", got)
+	}
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema     string   `json:"schema"`
+		GoMaxProcs int      `json:"go_max_procs"`
+		Results    []Result `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v", err)
+	}
+	if doc.Schema != "rteaal-bench/v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.GoMaxProcs < 1 {
+		t.Errorf("go_max_procs = %d", doc.GoMaxProcs)
+	}
+	if len(doc.Results) != 2 || doc.Results[0].Metric != "fused_speedup_vs_scalar" {
+		t.Errorf("results round-trip mismatch: %+v", doc.Results)
+	}
+}
+
+func TestNilRecorderIsValidSink(t *testing.T) {
+	var r *Recorder
+	r.Add("x", "d", "m", 1, "u") // must not panic
+	if r.Results() != nil {
+		t.Fatal("nil recorder returned results")
+	}
+}
+
+// TestBatchSweepRecords runs the lane-sharding study at tiny scale and
+// checks both the rendered table and the machine-readable rows the -json
+// pipeline commits: the fused-vs-scalar ratio and the worker-scaling curve
+// must be present for every design.
+func TestBatchSweepRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real wall-clock sweeps")
+	}
+	c := smallCfg()
+	c.Rec = NewRecorder()
+	var b strings.Builder
+	if err := BatchSweep(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"batch fused", "batch scalar (pre-PR)", "batch parallel", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("BatchSweep output missing %q:\n%s", want, out)
+		}
+	}
+	byMetric := map[string]int{}
+	for _, res := range c.Rec.Results() {
+		if res.Experiment != "batch" {
+			t.Errorf("unexpected experiment %q", res.Experiment)
+		}
+		byMetric[res.Metric]++
+	}
+	for _, m := range []string{
+		"fused_speedup_vs_scalar",
+		"parallel_scaling/workers_8_vs_1",
+		"session_cycles_per_sec",
+	} {
+		if byMetric[m] != 2 { // one row per benchmark design
+			t.Errorf("metric %q recorded %d times, want 2", m, byMetric[m])
+		}
+	}
+	// The fused-vs-scalar ratio is a wall-clock measurement: on a quiet
+	// host it sits well above 1, but shared CI runners are too noisy for a
+	// hard assertion, so surface it without failing.
+	for _, res := range c.Rec.Results() {
+		if res.Metric == "fused_speedup_vs_scalar" {
+			t.Logf("%s: fused schedule %.2fx vs scalar loop", res.Design, res.Value)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package kernel
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"rteaal/internal/oim"
 	"rteaal/internal/wire"
@@ -9,48 +11,140 @@ import (
 
 // Batch simulates n independent input-vectors of one design lock-step
 // through a single settle/commit schedule. The layer-input tensor is held in
-// structure-of-arrays layout — one lane-vector per LI slot — so each tape
+// structure-of-arrays layout — one lane-vector per LI slot — so each
 // operation runs as a tight loop over lanes touching two or three contiguous
 // slices, the memory shape a vectorising compiler (or a future SIMD/GPU
-// backend) wants. The schedule is the fully unrolled TI tape: levelization
-// guarantees in-layer writes never feed in-layer reads, so results go
-// straight to their LI coordinates in every lane.
+// backend) wants.
+//
+// The schedule is the batch-specialised compilation of the fully unrolled TI
+// tape (see batch_sched.go): operand slots are pre-bound to lane-vector
+// slices at instantiation, redundant output masks are elided, the loop
+// bodies are bounds-check-free, and the register commit folds to a single
+// pass when no Next/Q aliasing forces staging. Levelization guarantees
+// in-layer writes never feed in-layer reads, so results go straight to their
+// LI coordinates in every lane.
+//
+// A batch built with more than one worker shards its lanes over persistent
+// per-worker goroutines: every worker runs the full schedule across its own
+// contiguous lane block — lanes never interact, so one settle/commit barrier
+// per call is the only synchronisation. Call [Batch.Close] to stop the
+// workers deterministically; an unreachable batch is cleaned up by the
+// garbage collector.
 type Batch struct {
 	t     *oim.Tensor
-	tape  []tapeOp
+	sched *batchSchedule
 	lanes int
 	li    [][]uint64 // li[slot] is the slot's lane-vector (SoA)
 	buf   []uint64   // backing store for li, NumSlots*lanes contiguous
-	next  []uint64   // staged register commit, regs*lanes
+	next  []uint64   // staged register commit, regs*lanes (staged plan only)
 	outs  []uint64   // sampled outputs, outputs*lanes
+
+	// seq is the sequential executor (workers == 1): one shard bound to
+	// the full lane range, run on the caller's goroutine.
+	seq *batchShard
+
+	// Parallel executor (workers > 1): per-worker shards and their command
+	// channels. Workers reference only the shard and the channels — never
+	// the Batch itself — so dropping the batch lets the finalizer stop
+	// them.
+	shards []*batchShard
+	cmds   []chan batchCmd
+	done   chan struct{}
+	stop   sync.Once
 }
 
-// NewBatch builds an n-lane batch engine over t, lowering the tape itself.
-// Callers holding a [Program] should prefer [Program.InstantiateBatch],
-// which caches the tape across batches.
+// batchCmd is one phase of the worker protocol.
+type batchCmd uint8
+
+const (
+	batchSettle batchCmd = iota // run schedule + sample outputs
+	batchStep                   // schedule + sample + register commit
+)
+
+// batchShard is the slice of a batch one worker owns: the schedule bound to
+// a contiguous lane sub-range. Lanes are independent, so shards share no
+// mutable state.
+type batchShard struct {
+	ops         []boundOp
+	commits     []boundCommit
+	outB        []outBind
+	fusedCommit bool
+}
+
+func (sh *batchShard) run(c batchCmd) {
+	runOps(sh.ops)
+	runOuts(sh.outB)
+	if c == batchStep {
+		runCommits(sh.commits, sh.fusedCommit)
+	}
+}
+
+// batchWorker is the persistent loop of one lane shard.
+func batchWorker(sh *batchShard, cmds <-chan batchCmd, done chan<- struct{}) {
+	for c := range cmds {
+		sh.run(c)
+		done <- struct{}{}
+	}
+}
+
+// NewBatch builds an n-lane batch engine over t, compiling the schedule
+// itself. Callers holding a [Program] should prefer
+// [Program.InstantiateBatch], which caches the schedule across batches.
 func NewBatch(t *oim.Tensor, lanes int) (*Batch, error) {
 	if t.NumSlots == 0 {
 		return nil, fmt.Errorf("kernel: empty design")
 	}
-	tape, _ := buildTape(t)
-	return newBatch(t, tape, lanes)
+	return newBatch(t, buildBatchSchedule(t), lanes, 1)
 }
 
-func newBatch(t *oim.Tensor, tape []tapeOp, lanes int) (*Batch, error) {
+func newBatch(t *oim.Tensor, sched *batchSchedule, lanes, workers int) (*Batch, error) {
 	if lanes < 1 {
 		return nil, fmt.Errorf("kernel: batch needs at least 1 lane, got %d", lanes)
 	}
+	if workers < 1 {
+		return nil, fmt.Errorf("kernel: batch needs at least 1 worker, got %d", workers)
+	}
+	workers = min(workers, lanes)
 	b := &Batch{
 		t:     t,
-		tape:  tape,
+		sched: sched,
 		lanes: lanes,
 		buf:   make([]uint64, t.NumSlots*lanes),
 		li:    make([][]uint64, t.NumSlots),
-		next:  make([]uint64, len(t.RegSlots)*lanes),
 		outs:  make([]uint64, len(t.OutputSlots)*lanes),
+	}
+	if !sched.fusedCommit {
+		b.next = make([]uint64, len(t.RegSlots)*lanes)
 	}
 	for s := range b.li {
 		b.li[s] = b.buf[s*lanes : (s+1)*lanes : (s+1)*lanes]
+	}
+	bindShard := func(lo, hi int) *batchShard {
+		return &batchShard{
+			ops:         bindOps(sched, b.li, lo, hi),
+			commits:     bindCommits(sched, b.li, b.next, lanes, lo, hi),
+			outB:        bindOuts(t, b.li, b.outs, lanes, lo, hi),
+			fusedCommit: sched.fusedCommit,
+		}
+	}
+	if workers == 1 {
+		b.seq = bindShard(0, lanes)
+	} else {
+		b.done = make(chan struct{}, workers)
+		b.cmds = make([]chan batchCmd, workers)
+		lo := 0
+		for w := 0; w < workers; w++ {
+			hi := lo + lanes/workers
+			if w < lanes%workers {
+				hi++
+			}
+			sh := bindShard(lo, hi)
+			b.shards = append(b.shards, sh)
+			b.cmds[w] = make(chan batchCmd, 1)
+			go batchWorker(sh, b.cmds[w], b.done)
+			lo = hi
+		}
+		runtime.SetFinalizer(b, (*Batch).shutdown)
 	}
 	b.Reset()
 	return b, nil
@@ -59,8 +153,37 @@ func newBatch(t *oim.Tensor, tape []tapeOp, lanes int) (*Batch, error) {
 // Lanes reports the batch width.
 func (b *Batch) Lanes() int { return b.lanes }
 
+// Workers reports the effective worker count (1 = sequential).
+func (b *Batch) Workers() int { return max(len(b.shards), 1) }
+
 // Tensor returns the underlying OIM.
 func (b *Batch) Tensor() *oim.Tensor { return b.t }
+
+// Close stops a parallel batch's worker goroutines. Optional — an
+// unreachable batch is cleaned up by the garbage collector — but
+// deterministic. The batch must not be stepped afterwards.
+func (b *Batch) Close() {
+	b.shutdown()
+	runtime.SetFinalizer(b, nil)
+}
+
+func (b *Batch) shutdown() {
+	b.stop.Do(func() {
+		for _, c := range b.cmds {
+			close(c)
+		}
+	})
+}
+
+// broadcast issues one command to every worker and waits for the barrier.
+func (b *Batch) broadcast(c batchCmd) {
+	for _, w := range b.cmds {
+		w <- c
+	}
+	for range b.cmds {
+		<-b.done
+	}
+}
 
 // Reset restores every lane to the initial state.
 func (b *Batch) Reset() {
@@ -109,9 +232,35 @@ func (b *Batch) RegSnapshot(lane int) []uint64 {
 // Settle performs one combinational evaluation of every lane and samples the
 // primary outputs.
 func (b *Batch) Settle() {
+	if b.seq != nil {
+		b.seq.run(batchSettle)
+		return
+	}
+	b.broadcast(batchSettle)
+	runtime.KeepAlive(b)
+}
+
+// Step runs Settle followed by the simultaneous register commit of every
+// lane.
+func (b *Batch) Step() {
+	if b.seq != nil {
+		b.seq.run(batchStep)
+		return
+	}
+	b.broadcast(batchStep)
+	runtime.KeepAlive(b)
+}
+
+// SettleReference evaluates every lane through the pre-schedule scalar tape
+// loop, preserved verbatim: a per-op switch indexing li[slot] per operation,
+// with no operand pre-binding, mask elision, or bounds-check elimination. It
+// is retained as the parity oracle for the fused schedule and as the
+// baseline the BENCH_*.json trajectory measures the fast path against.
+func (b *Batch) SettleReference() {
 	li := b.li
-	for k := range b.tape {
-		e := &b.tape[k]
+	tape := b.sched.tape
+	for k := range tape {
+		e := &tape[k]
 		out := li[e.out]
 		switch e.op {
 		case wire.Add:
@@ -222,21 +371,14 @@ func (b *Batch) Settle() {
 	}
 }
 
-func muxChainLane(li [][]uint64, slots []int32, lane int) uint64 {
-	n := len(slots)
-	for i := 0; i+1 < n; i += 2 {
-		if li[slots[i]][lane] != 0 {
-			return li[slots[i+1]][lane]
-		}
-	}
-	return li[slots[n-1]][lane]
-}
-
-// Step runs Settle followed by the simultaneous register commit of every
-// lane.
-func (b *Batch) Step() {
-	b.Settle()
+// StepReference is SettleReference followed by the staged two-pass register
+// commit the schedule compiler folds away when it can.
+func (b *Batch) StepReference() {
+	b.SettleReference()
 	lanes := b.lanes
+	if b.next == nil {
+		b.next = make([]uint64, len(b.t.RegSlots)*lanes)
+	}
 	for i, r := range b.t.RegSlots {
 		src := b.li[r.Next]
 		dst := b.next[i*lanes : (i+1)*lanes]
@@ -247,4 +389,14 @@ func (b *Batch) Step() {
 	for i, r := range b.t.RegSlots {
 		copy(b.li[r.Q], b.next[i*lanes:(i+1)*lanes])
 	}
+}
+
+func muxChainLane(li [][]uint64, slots []int32, lane int) uint64 {
+	n := len(slots)
+	for i := 0; i+1 < n; i += 2 {
+		if li[slots[i]][lane] != 0 {
+			return li[slots[i+1]][lane]
+		}
+	}
+	return li[slots[n-1]][lane]
 }

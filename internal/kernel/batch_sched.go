@@ -1,0 +1,782 @@
+package kernel
+
+import (
+	"math/bits"
+
+	"rteaal/internal/oim"
+	"rteaal/internal/wire"
+)
+
+// The batch fast path precompiles the TI tape into a batch-specialised
+// schedule. Three properties separate it from the scalar tape loop:
+//
+//   - Operand slots are resolved to pre-bound lane-vector slices once at
+//     instantiation, so the per-op loops touch two or three contiguous
+//     slices directly instead of indirecting through li[slot] per op.
+//   - The `& mask` is elided whenever the schedule compiler can prove the
+//     result already fits the output width (masks are contiguous low-bit
+//     masks, so a bit-length argument suffices). Every fused operation
+//     exists in a masked and an unmasked variant; the compiler picks.
+//   - Each loop body re-slices its operands to len(out), which lets the Go
+//     compiler eliminate the bounds checks inside the lane loop.
+//
+// The register commit is folded into a single pass when no register's Next
+// coordinate aliases another register's Q coordinate (the only ordering
+// hazard the staged two-pass commit exists for).
+
+// batchCode selects one fused loop body. Codes come in masked (…M) and
+// unmasked pairs where masking is ever needed; comparison and reduction
+// results are single bits and never need the mask.
+type batchCode uint8
+
+const (
+	bcGeneric batchCode = iota // wire.Eval fallback (Ident and future ops)
+	bcAdd
+	bcAddM
+	bcSub
+	bcSubM
+	bcMul
+	bcMulM
+	bcDiv
+	bcDivM
+	bcRem
+	bcRemM
+	bcAnd
+	bcAndM
+	bcOr
+	bcOrM
+	bcXor
+	bcXorM
+	bcEq
+	bcNeq
+	bcLt
+	bcLeq
+	bcGt
+	bcGeq
+	bcShl
+	bcShlM
+	bcShr
+	bcShrM
+	bcCat
+	bcCatM
+	bcBits
+	bcBitsM
+	bcBitsC // constant hi/lo folded to one shift + mask at schedule build
+	bcNot
+	bcNotM
+	bcNeg
+	bcNegM
+	bcOrR
+	bcXorR
+	bcMux
+	bcMuxM
+	bcMuxChain
+	bcMuxChainM
+)
+
+// batchInst is one schedule entry in slot space: the shareable, per-program
+// half of a batch operation. Binding to a concrete batch's lane vectors
+// happens per batch (and per worker shard) in bindOps.
+type batchInst struct {
+	code batchCode
+	op   wire.Op // consulted by bcGeneric only
+	out  int32
+	a    [3]int32
+	n    uint8
+	sh   uint8   // folded constant shift amount (bcBitsC)
+	ext  []int32 // spilled mux-chain operands
+	mask uint64
+}
+
+// commitInst is one register's end-of-cycle update in slot space. masked is
+// false when the settled Next value provably fits the register width.
+type commitInst struct {
+	q, next int32
+	mask    uint64
+	masked  bool
+}
+
+// batchSchedule is the complete batch-specialised program: the fused
+// operation list plus the commit plan. It is immutable and shared by every
+// batch (and every worker shard) of one Program.
+type batchSchedule struct {
+	insts []batchInst
+	// commits is the per-register update list; fusedCommit reports whether
+	// it may run as a single direct pass (no Next/Q aliasing between
+	// distinct registers).
+	commits     []commitInst
+	fusedCommit bool
+	// tape is the scalar tape the schedule was compiled from, kept for
+	// [Batch.SettleReference] so reference batches don't rebuild it.
+	tape []tapeOp
+}
+
+// fitsMask reports whether op's result is guaranteed to fit outMask given
+// the operand masks. All masks are contiguous low-bit masks, so reasoning
+// with bit lengths is exact and overflow-free.
+func fitsMask(op wire.Op, argMasks []uint64, outMask uint64) bool {
+	outLen := bits.Len64(outMask)
+	alen := func(i int) int {
+		if i < len(argMasks) {
+			return bits.Len64(argMasks[i])
+		}
+		return 64
+	}
+	// Comparison and reduction ops never reach here: their single-bit
+	// results always fit, so fusedCode returns their codes directly.
+	switch op {
+	case wire.And:
+		return min(alen(0), alen(1)) <= outLen
+	case wire.Or, wire.Xor:
+		return max(alen(0), alen(1)) <= outLen
+	case wire.Mux:
+		return max(alen(1), alen(2)) <= outLen
+	case wire.Div, wire.Shr, wire.Bits:
+		return alen(0) <= outLen // result never exceeds the dividend/shiftee
+	case wire.Rem:
+		return min(alen(0), alen(1)) <= outLen // x%y <= min(x, y-1)
+	case wire.Add:
+		return max(alen(0), alen(1))+1 <= outLen
+	case wire.Mul:
+		return alen(0)+alen(1) <= outLen
+	case wire.Shl:
+		// The shift amount is at most the second operand's mask value.
+		if argMasks[1] > 63 {
+			return false
+		}
+		return alen(0)+int(argMasks[1]) <= outLen
+	default:
+		// Sub and Neg wrap below zero, Not flips all 64 bits, Cat and
+		// MuxChain are handled by their builders.
+		return outMask == ^uint64(0)
+	}
+}
+
+// fusedCode maps one tape operation to its fused loop body, consulting the
+// operand masks to decide the masked or unmasked variant. bcGeneric is the
+// answer for anything without a dedicated loop.
+func fusedCode(op wire.Op, argMasks []uint64, outMask uint64) batchCode {
+	type pair struct{ plain, masked batchCode }
+	var p pair
+	switch op {
+	case wire.Add:
+		p = pair{bcAdd, bcAddM}
+	case wire.Sub:
+		p = pair{bcSub, bcSubM}
+	case wire.Mul:
+		p = pair{bcMul, bcMulM}
+	case wire.Div:
+		p = pair{bcDiv, bcDivM}
+	case wire.Rem:
+		p = pair{bcRem, bcRemM}
+	case wire.And:
+		p = pair{bcAnd, bcAndM}
+	case wire.Or:
+		p = pair{bcOr, bcOrM}
+	case wire.Xor:
+		p = pair{bcXor, bcXorM}
+	case wire.Eq, wire.AndR:
+		return bcEq
+	case wire.Neq:
+		return bcNeq
+	case wire.Lt:
+		return bcLt
+	case wire.Leq:
+		return bcLeq
+	case wire.Gt:
+		return bcGt
+	case wire.Geq:
+		return bcGeq
+	case wire.Shl:
+		p = pair{bcShl, bcShlM}
+	case wire.Shr:
+		p = pair{bcShr, bcShrM}
+	case wire.Cat:
+		p = pair{bcCat, bcCatM}
+	case wire.Bits:
+		// Bits applies its own sub-mask; the output mask is redundant when
+		// the extracted field fits, which fitsMask already answers.
+		if fitsMask(op, argMasks, outMask) {
+			return bcBits
+		}
+		return bcBitsM
+	case wire.Not:
+		p = pair{bcNot, bcNotM}
+	case wire.Neg:
+		p = pair{bcNeg, bcNegM}
+	case wire.OrR:
+		return bcOrR
+	case wire.XorR:
+		return bcXorR
+	case wire.Mux:
+		p = pair{bcMux, bcMuxM}
+	case wire.MuxChain:
+		p = pair{bcMuxChain, bcMuxChainM}
+	default:
+		return bcGeneric
+	}
+	if op == wire.MuxChain || op == wire.Cat {
+		// MuxChain selects one of its value operands; Cat concatenates two
+		// fields whose combined length is the declared output width, so the
+		// unmasked variant is safe only at full 64-bit width.
+		if op == wire.MuxChain {
+			worst := 0
+			for i := 1; i < len(argMasks); i += 2 {
+				worst = max(worst, bits.Len64(argMasks[i]))
+			}
+			worst = max(worst, bits.Len64(argMasks[len(argMasks)-1]))
+			if worst <= bits.Len64(outMask) {
+				return p.plain
+			}
+			return p.masked
+		}
+		if outMask == ^uint64(0) {
+			return p.plain
+		}
+		return p.masked
+	}
+	if fitsMask(op, argMasks, outMask) {
+		return p.plain
+	}
+	return p.masked
+}
+
+// buildBatchSchedule compiles the design's TI tape into the batch-specialised
+// schedule: fused opcodes with the mask decision baked in, plus the folded
+// commit plan.
+func buildBatchSchedule(t *oim.Tensor) *batchSchedule {
+	tape, _ := buildTape(t)
+	s := &batchSchedule{insts: make([]batchInst, 0, len(tape)), tape: tape}
+
+	// produced marks slots written by tape operations: exactly the slots
+	// whose values are guaranteed masked to their declared width.
+	produced := make([]bool, t.NumSlots)
+	for k := range tape {
+		produced[tape[k].out] = true
+	}
+
+	// constVal maps slots whose value can never change over a batch's
+	// lifetime — preloaded by Reset and written by no operation, input
+	// poke, or register commit (a Batch has no PokeSlot). Operand values
+	// drawn from here may be folded into the schedule.
+	constVal := make(map[int32]uint64, len(t.ConstSlots))
+	for _, c := range t.ConstSlots {
+		constVal[c.Slot] = c.Value // Reset order: the last preload wins
+	}
+	for slot, p := range produced {
+		if p {
+			delete(constVal, int32(slot))
+		}
+	}
+	for _, slot := range t.InputSlots {
+		delete(constVal, slot)
+	}
+	for _, r := range t.RegSlots {
+		delete(constVal, r.Q)
+		delete(constVal, r.Next)
+	}
+
+	var argMasks []uint64
+	for k := range tape {
+		e := &tape[k]
+		args := e.ext
+		if args == nil {
+			args = e.a[:e.n]
+		}
+		argMasks = argMasks[:0]
+		for _, a := range args {
+			argMasks = append(argMasks, t.Masks[a])
+		}
+		in := batchInst{
+			code: fusedCode(e.op, argMasks, e.mask),
+			op:   e.op,
+			out:  e.out,
+			a:    e.a,
+			n:    e.n,
+			ext:  e.ext,
+			mask: e.mask,
+		}
+		// Bits with constant hi/lo — the shape every FIRRTL field extract
+		// lowers to — folds to a single shift with the field mask merged
+		// into the output mask.
+		if e.op == wire.Bits {
+			hi, okH := constVal[e.a[1]]
+			lo, okL := constVal[e.a[2]]
+			if okH && okL && lo < 64 && hi >= lo {
+				in.code = bcBitsC
+				in.sh = uint8(lo)
+				in.mask = wire.Mask(int(hi-lo)+1) & e.mask
+			}
+		}
+		s.insts = append(s.insts, in)
+	}
+
+	// Commit plan: a register's `& Mask` is redundant when Next is a tape
+	// product already masked to a width the register covers. The whole
+	// commit folds to one pass unless some register's Next aliases another
+	// register's Q (the shift-register hazard the staging buffer exists
+	// for).
+	isQ := make(map[int32]bool, len(t.RegSlots))
+	for _, r := range t.RegSlots {
+		isQ[r.Q] = true
+	}
+	s.fusedCommit = true
+	for _, r := range t.RegSlots {
+		if isQ[r.Next] && r.Next != r.Q {
+			s.fusedCommit = false
+		}
+		s.commits = append(s.commits, commitInst{
+			q:      r.Q,
+			next:   r.Next,
+			mask:   r.Mask,
+			masked: !produced[r.Next] || t.Masks[r.Next]&^r.Mask != 0,
+		})
+	}
+	return s
+}
+
+// boundOp is one schedule entry bound to a concrete batch's lane vectors
+// (or to one worker's lane sub-range): the hot-loop representation. out, x,
+// y, z alias the batch's SoA backing store.
+type boundOp struct {
+	code batchCode
+	op   wire.Op
+	n    uint8
+	sh   uint8
+	mask uint64
+	out  []uint64
+	x    []uint64
+	y    []uint64
+	z    []uint64
+	ext  [][]uint64
+}
+
+// boundCommit is one register update bound to lane vectors.
+type boundCommit struct {
+	dst, src []uint64
+	stage    []uint64 // staged buffer sub-range (two-pass commit only)
+	mask     uint64
+	masked   bool
+}
+
+// lane binds slot's [lo,hi) lane sub-range. The three-index form pins cap
+// so an append can never clobber a neighbouring slot's lanes.
+func laneView(li [][]uint64, slot int32, lo, hi int) []uint64 {
+	return li[slot][lo:hi:hi]
+}
+
+// bindOps resolves the schedule's slot coordinates against one batch's lane
+// vectors, restricted to the [lo,hi) lane sub-range. The result is private
+// to one executor (the sequential batch or one worker shard).
+func bindOps(s *batchSchedule, li [][]uint64, lo, hi int) []boundOp {
+	ops := make([]boundOp, len(s.insts))
+	for i := range s.insts {
+		in := &s.insts[i]
+		b := &ops[i]
+		b.code, b.op, b.n, b.sh, b.mask = in.code, in.op, in.n, in.sh, in.mask
+		b.out = laneView(li, in.out, lo, hi)
+		if in.ext != nil {
+			b.ext = make([][]uint64, len(in.ext))
+			for j, slot := range in.ext {
+				b.ext[j] = laneView(li, slot, lo, hi)
+			}
+			continue
+		}
+		switch {
+		case in.n >= 3:
+			b.z = laneView(li, in.a[2], lo, hi)
+			fallthrough
+		case in.n == 2:
+			b.y = laneView(li, in.a[1], lo, hi)
+			fallthrough
+		case in.n == 1:
+			b.x = laneView(li, in.a[0], lo, hi)
+		}
+		if in.code == bcMuxChain || in.code == bcMuxChainM {
+			// Short chains live inline in a; normalise to ext so the loop
+			// body has one shape.
+			b.ext = make([][]uint64, in.n)
+			for j := 0; j < int(in.n); j++ {
+				b.ext[j] = laneView(li, in.a[j], lo, hi)
+			}
+		}
+	}
+	return ops
+}
+
+// bindCommits resolves the commit plan against one batch's lane vectors and
+// its staging buffer for the [lo,hi) lane sub-range.
+func bindCommits(s *batchSchedule, li [][]uint64, next []uint64, lanes, lo, hi int) []boundCommit {
+	cs := make([]boundCommit, len(s.commits))
+	for i := range s.commits {
+		c := &s.commits[i]
+		cs[i] = boundCommit{
+			dst:    laneView(li, c.q, lo, hi),
+			src:    laneView(li, c.next, lo, hi),
+			mask:   c.mask,
+			masked: c.masked,
+		}
+		if !s.fusedCommit {
+			cs[i].stage = next[i*lanes+lo : i*lanes+hi : i*lanes+hi]
+		}
+	}
+	return cs
+}
+
+// outBind is one primary output's sampling copy for a lane sub-range.
+type outBind struct {
+	dst, src []uint64
+}
+
+func bindOuts(t *oim.Tensor, li [][]uint64, outs []uint64, lanes, lo, hi int) []outBind {
+	bs := make([]outBind, len(t.OutputSlots))
+	for i, slot := range t.OutputSlots {
+		bs[i] = outBind{
+			dst: outs[i*lanes+lo : i*lanes+hi : i*lanes+hi],
+			src: laneView(li, slot, lo, hi),
+		}
+	}
+	return bs
+}
+
+// runOps executes the bound schedule over its lane range. Every loop body
+// re-slices its operands to len(out) so the compiler can prove the lane
+// index in range once and drop the per-access bounds checks.
+func runOps(ops []boundOp) {
+	for i := range ops {
+		o := &ops[i]
+		out := o.out
+		switch o.code {
+		case bcAdd:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = x[l] + y[l]
+			}
+		case bcAddM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				out[l] = (x[l] + y[l]) & m
+			}
+		case bcSub:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = x[l] - y[l]
+			}
+		case bcSubM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				out[l] = (x[l] - y[l]) & m
+			}
+		case bcMul:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = x[l] * y[l]
+			}
+		case bcMulM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				out[l] = (x[l] * y[l]) & m
+			}
+		case bcDiv:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				if y[l] == 0 {
+					out[l] = 0
+				} else {
+					out[l] = x[l] / y[l]
+				}
+			}
+		case bcDivM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				if y[l] == 0 {
+					out[l] = 0
+				} else {
+					out[l] = (x[l] / y[l]) & m
+				}
+			}
+		case bcRem:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				if y[l] == 0 {
+					out[l] = 0
+				} else {
+					out[l] = x[l] % y[l]
+				}
+			}
+		case bcRemM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				if y[l] == 0 {
+					out[l] = 0
+				} else {
+					out[l] = (x[l] % y[l]) & m
+				}
+			}
+		case bcAnd:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = x[l] & y[l]
+			}
+		case bcAndM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				out[l] = x[l] & y[l] & m
+			}
+		case bcOr:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = x[l] | y[l]
+			}
+		case bcOrM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				out[l] = (x[l] | y[l]) & m
+			}
+		case bcXor:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = x[l] ^ y[l]
+			}
+		case bcXorM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				out[l] = (x[l] ^ y[l]) & m
+			}
+		case bcEq:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = b2u(x[l] == y[l])
+			}
+		case bcNeq:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = b2u(x[l] != y[l])
+			}
+		case bcLt:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = b2u(x[l] < y[l])
+			}
+		case bcLeq:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = b2u(x[l] <= y[l])
+			}
+		case bcGt:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = b2u(x[l] > y[l])
+			}
+		case bcGeq:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				out[l] = b2u(x[l] >= y[l])
+			}
+		case bcShl:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				if y[l] >= 64 {
+					out[l] = 0
+				} else {
+					out[l] = x[l] << uint(y[l])
+				}
+			}
+		case bcShlM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				if y[l] >= 64 {
+					out[l] = 0
+				} else {
+					out[l] = (x[l] << uint(y[l])) & m
+				}
+			}
+		case bcShr:
+			x, y := o.x[:len(out)], o.y[:len(out)]
+			for l := range out {
+				if y[l] >= 64 {
+					out[l] = 0
+				} else {
+					out[l] = x[l] >> uint(y[l])
+				}
+			}
+		case bcShrM:
+			x, y, m := o.x[:len(out)], o.y[:len(out)], o.mask
+			for l := range out {
+				if y[l] >= 64 {
+					out[l] = 0
+				} else {
+					out[l] = (x[l] >> uint(y[l])) & m
+				}
+			}
+		case bcCat:
+			x, y, z := o.x[:len(out)], o.y[:len(out)], o.z[:len(out)]
+			for l := range out {
+				if z[l] >= 64 {
+					out[l] = y[l]
+				} else {
+					out[l] = x[l]<<uint(z[l]) | y[l]
+				}
+			}
+		case bcCatM:
+			x, y, z, m := o.x[:len(out)], o.y[:len(out)], o.z[:len(out)], o.mask
+			for l := range out {
+				if z[l] >= 64 {
+					out[l] = y[l] & m
+				} else {
+					out[l] = (x[l]<<uint(z[l]) | y[l]) & m
+				}
+			}
+		case bcBits:
+			x, y, z := o.x[:len(out)], o.y[:len(out)], o.z[:len(out)]
+			for l := range out {
+				hi, lo := y[l], z[l]
+				if lo >= 64 || hi < lo {
+					out[l] = 0
+				} else {
+					out[l] = (x[l] >> uint(lo)) & wire.Mask(int(hi-lo)+1)
+				}
+			}
+		case bcBitsM:
+			x, y, z, m := o.x[:len(out)], o.y[:len(out)], o.z[:len(out)], o.mask
+			for l := range out {
+				hi, lo := y[l], z[l]
+				if lo >= 64 || hi < lo {
+					out[l] = 0
+				} else {
+					out[l] = (x[l] >> uint(lo)) & wire.Mask(int(hi-lo)+1) & m
+				}
+			}
+		case bcBitsC:
+			x, m := o.x[:len(out)], o.mask
+			sh := uint(o.sh)
+			for l := range out {
+				out[l] = (x[l] >> sh) & m
+			}
+		case bcNot:
+			x := o.x[:len(out)]
+			for l := range out {
+				out[l] = ^x[l]
+			}
+		case bcNotM:
+			x, m := o.x[:len(out)], o.mask
+			for l := range out {
+				out[l] = ^x[l] & m
+			}
+		case bcNeg:
+			x := o.x[:len(out)]
+			for l := range out {
+				out[l] = -x[l]
+			}
+		case bcNegM:
+			x, m := o.x[:len(out)], o.mask
+			for l := range out {
+				out[l] = (-x[l]) & m
+			}
+		case bcOrR:
+			x := o.x[:len(out)]
+			for l := range out {
+				out[l] = b2u(x[l] != 0)
+			}
+		case bcXorR:
+			x := o.x[:len(out)]
+			for l := range out {
+				out[l] = uint64(bits.OnesCount64(x[l]) & 1)
+			}
+		case bcMux:
+			// Branchless select: data-dependent branches mispredict on
+			// uncorrelated lane data, so build an all-ones/all-zeros mask
+			// from the condition instead.
+			c, x, y := o.x[:len(out)], o.y[:len(out)], o.z[:len(out)]
+			for l := range out {
+				sel := -b2u(c[l] != 0)
+				out[l] = y[l] ^ sel&(x[l]^y[l])
+			}
+		case bcMuxM:
+			c, x, y, m := o.x[:len(out)], o.y[:len(out)], o.z[:len(out)], o.mask
+			for l := range out {
+				sel := -b2u(c[l] != 0)
+				out[l] = (y[l] ^ sel&(x[l]^y[l])) & m
+			}
+		case bcMuxChain:
+			for l := range out {
+				out[l] = muxChainBound(o.ext, l)
+			}
+		case bcMuxChainM:
+			m := o.mask
+			for l := range out {
+				out[l] = muxChainBound(o.ext, l) & m
+			}
+		default: // bcGeneric
+			var args [3]uint64
+			n := int(o.n)
+			for l := range out {
+				if n > 0 {
+					args[0] = o.x[l]
+				}
+				if n > 1 {
+					args[1] = o.y[l]
+				}
+				if n > 2 {
+					args[2] = o.z[l]
+				}
+				out[l] = wire.Eval(o.op, args[:n], o.mask)
+			}
+		}
+	}
+}
+
+// muxChainBound walks a priority-mux chain's bound lane vectors for one
+// lane: (sel0, val0, sel1, val1, …, default).
+func muxChainBound(ext [][]uint64, lane int) uint64 {
+	n := len(ext)
+	for i := 0; i+1 < n; i += 2 {
+		if ext[i][lane] != 0 {
+			return ext[i+1][lane]
+		}
+	}
+	return ext[n-1][lane]
+}
+
+// runCommits performs the end-of-cycle register update for one lane range.
+// With a fused plan each register folds to one direct pass; otherwise the
+// classic two-pass staged commit runs over the same bound slices.
+func runCommits(cs []boundCommit, fused bool) {
+	if fused {
+		for i := range cs {
+			c := &cs[i]
+			dst, src := c.dst, c.src[:len(c.dst)]
+			if c.masked {
+				m := c.mask
+				for l := range dst {
+					dst[l] = src[l] & m
+				}
+			} else {
+				copy(dst, src)
+			}
+		}
+		return
+	}
+	for i := range cs {
+		c := &cs[i]
+		stage, src := c.stage, c.src[:len(c.stage)]
+		if c.masked {
+			m := c.mask
+			for l := range stage {
+				stage[l] = src[l] & m
+			}
+		} else {
+			copy(stage, src)
+		}
+	}
+	for i := range cs {
+		copy(cs[i].dst, cs[i].stage)
+	}
+}
+
+// runOuts samples the primary outputs for one lane range.
+func runOuts(bs []outBind) {
+	for i := range bs {
+		copy(bs[i].dst, bs[i].src)
+	}
+}

@@ -25,10 +25,11 @@ type Program struct {
 	tape      []tapeOp      // SU, TI
 	layerEnds []int         // SU
 
-	// batchTape is the lane-schedule for InstantiateBatch, built lazily
-	// once per program (shared with tape for SU/TI).
-	batchOnce sync.Once
-	batchTape []tapeOp
+	// batchSched is the batch-specialised schedule for InstantiateBatch
+	// and InstantiateBatchParallel, compiled lazily once per program and
+	// shared read-only by every batch.
+	batchOnce  sync.Once
+	batchSched *batchSchedule
 }
 
 // NewProgram lowers t for the configuration and returns the shared program.
@@ -85,17 +86,20 @@ func (p *Program) Instantiate() Engine {
 }
 
 // InstantiateBatch mints a lanes-wide [Batch] over the shared tensor. The
-// tape schedule is reused from the program when it has one (SU/TI) and
-// built lazily — once, not per batch — otherwise.
+// batch-specialised schedule is compiled lazily — once per program, not per
+// batch.
 func (p *Program) InstantiateBatch(lanes int) (*Batch, error) {
-	p.batchOnce.Do(func() {
-		if p.tape != nil {
-			p.batchTape = p.tape
-		} else {
-			p.batchTape, _ = buildTape(p.t)
-		}
-	})
-	return newBatch(p.t, p.batchTape, lanes)
+	return p.InstantiateBatchParallel(lanes, 1)
+}
+
+// InstantiateBatchParallel mints a lanes-wide [Batch] whose lanes are
+// sharded over `workers` persistent goroutines, each running the full
+// schedule on its own contiguous lane block with one settle/commit barrier
+// per cycle. workers is clamped to the lane count; 1 means the sequential
+// in-caller path. Parallel batches should be released with [Batch.Close].
+func (p *Program) InstantiateBatchParallel(lanes, workers int) (*Batch, error) {
+	p.batchOnce.Do(func() { p.batchSched = buildBatchSchedule(p.t) })
+	return newBatch(p.t, p.batchSched, lanes, workers)
 }
 
 // New builds the engine for a configuration. It is the single-engine

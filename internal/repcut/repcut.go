@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rteaal/internal/dfg"
 	"rteaal/internal/kernel"
@@ -347,6 +348,20 @@ func (p *Plan) Lower(cfg kernel.Config) ([]*kernel.Program, error) {
 	return progs, nil
 }
 
+// PinWorkers controls whether partition worker goroutines lock themselves
+// to an OS thread (runtime.LockOSThread) for their whole life. Pinning
+// keeps each partition's cone state and its side of the RUM exchange on a
+// stable thread — and, through the OS scheduler's thread affinity, on a
+// stable core — so the per-cycle cut traffic stops bouncing cache lines
+// between whichever threads the Go scheduler happened to pick. On by
+// default; the partitions bench table measures both settings. Read once at
+// [Plan.Instantiate] time — flipping it never affects live instances — and
+// atomic so benchmarks can toggle it without racing concurrent
+// instantiation elsewhere.
+var PinWorkers atomic.Bool
+
+func init() { PinWorkers.Store(true) }
+
 // workerCmd is one phase of the cycle protocol driven over each worker's
 // command channel.
 type workerCmd uint8
@@ -379,6 +394,7 @@ type instance struct {
 	cmds    []chan workerCmd
 	done    chan struct{}
 	stop    sync.Once
+	pin     bool // lock each worker to an OS thread (PinWorkers at mint)
 }
 
 // Instantiate mints a runnable instance over programs previously built by
@@ -401,6 +417,7 @@ func (p *Plan) Instantiate(progs []*kernel.Program) (*Instance, error) {
 		in.engines[i] = prog.Instantiate()
 	}
 	if len(in.engines) > 1 {
+		in.pin = PinWorkers.Load()
 		in.done = make(chan struct{}, len(in.engines))
 		in.cmds = make([]chan workerCmd, len(in.engines))
 		for i := range in.engines {
@@ -455,6 +472,13 @@ func (in *instance) stopWorkers() {
 // phases touch disjoint memory; the channel barrier orders them after every
 // partition's commit.
 func (in *instance) worker(part int, cmds <-chan workerCmd) {
+	if in.pin {
+		// Pin the partition to one OS thread for its whole life; the
+		// thread is released when the goroutine (and with it the locked
+		// thread state) exits at channel close.
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
 	eng := in.engines[part]
 	for c := range cmds {
 		switch c {

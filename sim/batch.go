@@ -12,9 +12,14 @@ import (
 // slot). Lanes never interact — lane l of a batch produces exactly the trace
 // a dedicated [Session] fed the same inputs would — but amortise all control
 // flow and walk memory contiguously, the first step toward SIMD batching.
+// The settle/commit loops run a batch-specialised schedule — operands
+// pre-bound to lane vectors, redundant masks elided, bounds checks
+// eliminated — and with [WithBatchWorkers] (or [Design.NewBatchParallel])
+// the lanes shard over persistent worker goroutines, one contiguous lane
+// block per worker, with a single barrier per cycle.
 //
-// A Batch is not safe for concurrent use; mint one per goroutine or put
-// sessions behind a [Pool] instead.
+// A Batch is not safe for concurrent method calls; mint one per goroutine
+// or put sessions behind a [Pool] instead.
 type Batch struct {
 	d     *Design
 	b     *kernel.Batch
@@ -26,6 +31,16 @@ func (b *Batch) Design() *Design { return b.d }
 
 // Lanes reports the batch width n.
 func (b *Batch) Lanes() int { return b.b.Lanes() }
+
+// Workers reports how many persistent lane workers the batch runs on
+// (1 = the sequential in-caller path); see [WithBatchWorkers].
+func (b *Batch) Workers() int { return b.b.Workers() }
+
+// Close stops a parallel batch's worker goroutines. Optional — an
+// unreachable batch is cleaned up by the garbage collector — but
+// deterministic; a no-op for sequential batches. The batch must not be used
+// afterwards.
+func (b *Batch) Close() { b.b.Close() }
 
 // Cycle reports completed cycles since construction or Reset.
 func (b *Batch) Cycle() int64 { return b.cycle }

@@ -1,68 +1,77 @@
 package sim_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"rteaal/internal/dfg"
+	"rteaal/internal/wire"
 	"rteaal/sim"
 )
 
 // TestBatchMatchesSessionIdenticalLanes drives every lane of a batch with
 // the same stimulus a single session sees and requires bit-identical
-// register and output traces, for both the PSU and TI compilations the
-// acceptance criteria name.
+// register and output traces, for every kernel compilation and for both the
+// sequential and the worker-sharded batch engine.
 func TestBatchMatchesSessionIdenticalLanes(t *testing.T) {
 	src := genDesignSrc(t)
-	for _, k := range []sim.Kernel{sim.PSU, sim.TI} {
-		d, err := sim.Compile(src, sim.WithKernel(k))
-		if err != nil {
-			t.Fatal(err)
-		}
-		nIn := len(d.Inputs())
-		const lanes, cycles = 4, 5
-		b, err := d.NewBatch(lanes)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if b.Lanes() != lanes {
-			t.Fatalf("Lanes() = %d", b.Lanes())
-		}
-		s := d.NewSession()
-		rngS := rand.New(rand.NewSource(42))
-		rngB := rand.New(rand.NewSource(42))
-		for c := 0; c < cycles; c++ {
-			for i := 0; i < nIn; i++ {
-				s.PokeIndex(i, rngS.Uint64())
-			}
-			for i := 0; i < nIn; i++ {
-				v := rngB.Uint64()
-				for lane := 0; lane < lanes; lane++ {
-					b.PokeIndex(lane, i, v)
-				}
-			}
-			if err := s.Step(); err != nil {
+	for _, k := range sim.Kernels() {
+		for _, workers := range []int{1, 3} {
+			d, err := sim.Compile(src, sim.WithKernel(k), sim.WithBatchWorkers(workers))
+			if err != nil {
 				t.Fatal(err)
 			}
-			b.Step()
-			wantRegs := s.Registers()
-			for lane := 0; lane < lanes; lane++ {
-				gotRegs := b.Registers(lane)
-				for i := range wantRegs {
-					if gotRegs[i] != wantRegs[i] {
-						t.Fatalf("%v cycle %d lane %d: reg[%d] = %d, session %d",
-							k, c, lane, i, gotRegs[i], wantRegs[i])
+			nIn := len(d.Inputs())
+			const lanes, cycles = 4, 5
+			b, err := d.NewBatch(lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Lanes() != lanes {
+				t.Fatalf("Lanes() = %d", b.Lanes())
+			}
+			if b.Workers() != workers {
+				t.Fatalf("Workers() = %d, want %d", b.Workers(), workers)
+			}
+			s := d.NewSession()
+			rngS := rand.New(rand.NewSource(42))
+			rngB := rand.New(rand.NewSource(42))
+			for c := 0; c < cycles; c++ {
+				for i := 0; i < nIn; i++ {
+					s.PokeIndex(i, rngS.Uint64())
+				}
+				for i := 0; i < nIn; i++ {
+					v := rngB.Uint64()
+					for lane := 0; lane < lanes; lane++ {
+						b.PokeIndex(lane, i, v)
 					}
 				}
-				for i := range d.Outputs() {
-					if got, want := b.PeekIndex(lane, i), s.PeekIndex(i); got != want {
-						t.Fatalf("%v cycle %d lane %d: out[%d] = %d, session %d",
-							k, c, lane, i, got, want)
+				if err := s.Step(); err != nil {
+					t.Fatal(err)
+				}
+				b.Step()
+				wantRegs := s.Registers()
+				for lane := 0; lane < lanes; lane++ {
+					gotRegs := b.Registers(lane)
+					for i := range wantRegs {
+						if gotRegs[i] != wantRegs[i] {
+							t.Fatalf("%v workers %d cycle %d lane %d: reg[%d] = %d, session %d",
+								k, workers, c, lane, i, gotRegs[i], wantRegs[i])
+						}
+					}
+					for i := range d.Outputs() {
+						if got, want := b.PeekIndex(lane, i), s.PeekIndex(i); got != want {
+							t.Fatalf("%v workers %d cycle %d lane %d: out[%d] = %d, session %d",
+								k, workers, c, lane, i, got, want)
+						}
 					}
 				}
 			}
-		}
-		if b.Cycle() != cycles {
-			t.Fatalf("batch cycle = %d", b.Cycle())
+			if b.Cycle() != cycles {
+				t.Fatalf("batch cycle = %d", b.Cycle())
+			}
+			b.Close()
 		}
 	}
 }
@@ -105,6 +114,169 @@ func TestBatchLanesAreIndependent(t *testing.T) {
 					lane, i, batchTraces[lane][i], want[i])
 			}
 		}
+	}
+}
+
+// opHeavyGraph builds a random circuit saturated with one target operation:
+// every second op is the target, fed by a moving pool of inputs, registers,
+// and earlier results, with register next-states and outputs keeping the
+// logic alive. Compiling with optimisation passes disabled guarantees the
+// target ops reach the tape unfused.
+func opHeavyGraph(rng *rand.Rand, op wire.Op, unary bool) *dfg.Graph {
+	g := &dfg.Graph{Name: "ops"}
+	width := func() int { return 1 + rng.Intn(16) }
+	var pool []dfg.NodeID
+	for i := 0; i < 3; i++ {
+		pool = append(pool, g.AddInput(fmt.Sprintf("in%d", i), width()))
+	}
+	var regs []dfg.NodeID
+	for i := 0; i < 4; i++ {
+		id := g.AddReg(fmt.Sprintf("r%d", i), width(), rng.Uint64())
+		regs = append(regs, id)
+		pool = append(pool, id)
+	}
+	pick := func() dfg.NodeID { return pool[rng.Intn(len(pool))] }
+	mixers := []wire.Op{wire.Add, wire.Xor, wire.And}
+	for i := 0; i < 40; i++ {
+		var id dfg.NodeID
+		if i%2 == 0 {
+			if unary {
+				w := width()
+				if op == wire.XorR {
+					w = 1
+				}
+				id = g.AddOp(op, w, pick())
+			} else {
+				id = g.AddOp(op, width(), pick(), pick())
+			}
+		} else {
+			id = g.AddOp(mixers[rng.Intn(len(mixers))], width(), pick(), pick())
+		}
+		pool = append(pool, id)
+	}
+	for _, q := range regs {
+		w := int(g.Nodes[q].Width)
+		src := pick()
+		if int(g.Nodes[src].Width) != w {
+			hiC := g.AddConst(uint64(w-1), 7)
+			loC := g.AddConst(0, 7)
+			src = g.AddOp(wire.Bits, w, src, hiC, loC)
+		}
+		g.SetRegNext(q, src)
+	}
+	for i := 0; i < 3; i++ {
+		g.AddOutput(fmt.Sprintf("out%d", i), pool[len(pool)-1-i*5])
+	}
+	return g
+}
+
+// TestBatchOpParity pins the dedicated batch fast cases for Div, Rem, Shl,
+// Shr, and XorR (previously the generic wire.Eval fallback) to sessions on
+// random op-saturated designs, for sequential and worker-sharded batches.
+func TestBatchOpParity(t *testing.T) {
+	ops := []struct {
+		op    wire.Op
+		unary bool
+	}{
+		{wire.Div, false},
+		{wire.Rem, false},
+		{wire.Shl, false},
+		{wire.Shr, false},
+		{wire.XorR, true},
+	}
+	rng := rand.New(rand.NewSource(2026))
+	const lanes, cycles = 3, 6
+	for _, tc := range ops {
+		for trial := 0; trial < 5; trial++ {
+			g := opHeavyGraph(rng, tc.op, tc.unary)
+			// No optimisation: the target ops must survive to the tape.
+			d, err := sim.CompileGraph(g, sim.WithOptPasses(sim.OptPasses{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			nIn := len(d.Inputs())
+			for _, workers := range []int{1, 2} {
+				b, err := d.NewBatchParallel(lanes, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rngs := make([]*rand.Rand, lanes)
+				for lane := range rngs {
+					rngs[lane] = rand.New(rand.NewSource(int64(trial*100 + lane)))
+				}
+				var traces [lanes][]uint64
+				for c := 0; c < cycles; c++ {
+					for lane := 0; lane < lanes; lane++ {
+						for i := 0; i < nIn; i++ {
+							b.PokeIndex(lane, i, rngs[lane].Uint64())
+						}
+					}
+					b.Step()
+					for lane := 0; lane < lanes; lane++ {
+						traces[lane] = append(traces[lane], b.Registers(lane)...)
+						for i := range d.Outputs() {
+							traces[lane] = append(traces[lane], b.PeekIndex(lane, i))
+						}
+					}
+				}
+				b.Close()
+				for lane := 0; lane < lanes; lane++ {
+					s := d.NewSession()
+					rng := rand.New(rand.NewSource(int64(trial*100 + lane)))
+					var want []uint64
+					for c := 0; c < cycles; c++ {
+						for i := 0; i < nIn; i++ {
+							s.PokeIndex(i, rng.Uint64())
+						}
+						if err := s.Step(); err != nil {
+							t.Fatal(err)
+						}
+						want = append(want, s.Registers()...)
+						for i := range d.Outputs() {
+							want = append(want, s.PeekIndex(i))
+						}
+					}
+					for i := range want {
+						if traces[lane][i] != want[i] {
+							t.Fatalf("%v trial %d workers %d lane %d: batch diverges at trace[%d]: %d != %d",
+								tc.op, trial, workers, lane, i, traces[lane][i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchWorkersOption covers the compile-time default: WithBatchWorkers
+// flows into NewBatch, NewBatchParallel overrides it, and a non-positive
+// count is a compile (or mint) error.
+func TestBatchWorkersOption(t *testing.T) {
+	if _, err := sim.Compile(counterSrc, sim.WithBatchWorkers(0)); err == nil {
+		t.Fatal("WithBatchWorkers(0) accepted")
+	}
+	d, err := sim.Compile(counterSrc, sim.WithBatchWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.NewBatch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Workers() != 2 {
+		t.Fatalf("NewBatch workers = %d, want the WithBatchWorkers default 2", b.Workers())
+	}
+	b.Close()
+	o, err := d.NewBatchParallel(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Workers() != 4 {
+		t.Fatalf("NewBatchParallel workers = %d, want 4", o.Workers())
+	}
+	o.Close()
+	if _, err := d.NewBatchParallel(8, 0); err == nil {
+		t.Fatal("NewBatchParallel(8, 0) accepted")
 	}
 }
 

@@ -14,12 +14,13 @@ import (
 
 // config is the resolved compilation configuration an option list produces.
 type config struct {
-	kernel      Kernel
-	passes      OptPasses
-	waveform    bool
-	unoptFormat bool
-	partitions  int               // 0 = unpartitioned
-	strategy    PartitionStrategy // zero value = MinCut
+	kernel       Kernel
+	passes       OptPasses
+	waveform     bool
+	unoptFormat  bool
+	partitions   int               // 0 = unpartitioned
+	strategy     PartitionStrategy // zero value = MinCut
+	batchWorkers int               // 0 = one worker (sequential batches)
 }
 
 // Option configures compilation. Options are applied in order; later options
@@ -75,6 +76,23 @@ func WithPartitions(n int) Option {
 	}
 }
 
+// WithBatchWorkers makes [Design.NewBatch] shard its lanes over n
+// persistent worker goroutines: each worker runs the full batch schedule
+// over its own contiguous lane block, so an n-lane batch scales with cores
+// while every lane still produces exactly the trace a dedicated [Session]
+// would. One worker (the default) is the sequential in-caller path. The
+// worker count is clamped to the batch's lane count at [Design.NewBatch];
+// n < 1 is a compile error. Parallel batches should be released with
+// [Batch.Close].
+func WithBatchWorkers(n int) Option {
+	return func(c *config) {
+		c.batchWorkers = n
+		if n < 1 {
+			c.batchWorkers = -1 // distinguishable from the unset default; rejected at compile
+		}
+	}
+}
+
 // Design is an immutable compiled design: the optimized dataflow graph, the
 // OIM tensor, and the kernel program lowered for the selected configuration.
 // All simulation state lives in the [Session] and [Batch] values a design
@@ -117,6 +135,9 @@ func CompileGraph(g *dfg.Graph, opts ...Option) (*Design, error) {
 	// Reject bad options before the expensive Figure 14 pipeline runs.
 	if cfg.partitions < 0 {
 		return nil, fmt.Errorf("sim: WithPartitions needs at least one partition")
+	}
+	if cfg.batchWorkers < 0 {
+		return nil, fmt.Errorf("sim: WithBatchWorkers needs at least one worker")
 	}
 	o := dfg.OptOptions{
 		ConstFold:    cfg.passes.ConstFold,
@@ -330,14 +351,26 @@ func (d *Design) fullProgram() (*kernel.Program, error) {
 }
 
 // NewBatch mints an n-lane lock-step simulation over the shared tensor; see
-// [Batch]. The lane schedule is lowered once per design and shared by all
-// its batches.
+// [Batch]. The batch-specialised schedule is compiled once per design and
+// shared by all its batches. Lanes run on the worker count selected with
+// [WithBatchWorkers] (one if unset).
 func (d *Design) NewBatch(n int) (*Batch, error) {
+	return d.NewBatchParallel(n, max(d.cfg.batchWorkers, 1))
+}
+
+// NewBatchParallel mints an n-lane batch sharded over the given number of
+// persistent lane workers, overriding the design's [WithBatchWorkers]
+// default. The worker count is clamped to n; workers == 1 is the sequential
+// path. Parallel batches should be released with [Batch.Close].
+func (d *Design) NewBatchParallel(n, workers int) (*Batch, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("sim: batch needs at least 1 worker, got %d", workers)
+	}
 	prog, err := d.fullProgram()
 	if err != nil {
 		return nil, err
 	}
-	b, err := prog.InstantiateBatch(n)
+	b, err := prog.InstantiateBatchParallel(n, workers)
 	if err != nil {
 		return nil, err
 	}
