@@ -7,7 +7,10 @@
 // The extra "throughput" experiment (not from the paper) measures the
 // serving path of the public sim package: single-session stepping versus
 // RepCut-partitioned sessions versus SoA multi-lane batches versus a
-// session pool drained by parallel workers. "batch" is the lane-sharded
+// session pool drained by parallel workers. "workloads" drives the Table 3
+// workload rows through the public sim.Testbench transaction layer and
+// reports delivered cycles/s plus the extrapolated full-workload wall
+// clock. "batch" is the lane-sharded
 // batch engine study (fused schedule vs the pre-schedule scalar loop, and
 // worker scaling). "partitions" is the RepCut strong-scaling study
 // (speedup vs. replication and cut size, per partition strategy, with and
@@ -63,6 +66,7 @@ func main() {
 		"figure21":          func() error { return bench.Figure21(os.Stdout, c) },
 		"table7":            func() error { return bench.Table7(os.Stdout, c) },
 		"throughput":        func() error { return throughput(c) },
+		"workloads":         func() error { return bench.Workloads(os.Stdout, c) },
 		"batch":             func() error { return bench.BatchSweep(os.Stdout, c) },
 		"partitions":        func() error { return partitionScaling(c) },
 		"partition-quality": func() error { return bench.PartitionQuality(os.Stdout, c) },
@@ -82,7 +86,7 @@ func main() {
 		}
 		f, ok := experiments[name]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, batch, partitions, partition-quality, all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, workloads, batch, partitions, partition-quality, all)", name))
 		}
 		if err := f(); err != nil {
 			fatal(err)

@@ -2,17 +2,23 @@
 // and simulates it: parse → optimise → levelize → OIM → kernel (Figure 14).
 //
 //	rteaal -kernel PSU -cycles 1000 -vcd out.vcd design.fir
+//	rteaal -drive const -drive-value 1 -watch count,state design.fir
 //
-// With -dump-oim the generated tensor is written as JSON instead of
-// simulating, matching the paper's compiler output; -list-kernels prints
-// the seven kernel configurations in unrolling order.
+// The design is driven through the public sim.Testbench transaction layer:
+// -drive selects the stimulus (seeded random input traffic, or a constant
+// on every input) and -watch prints named signals — inputs, outputs, or
+// registers — after every cycle through resolved DMI ports. With -dump-oim
+// the generated tensor is written as JSON instead of simulating, matching
+// the paper's compiler output; -list-kernels prints the seven kernel
+// configurations in unrolling order; -list-signals prints every watchable
+// signal of the compiled design.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"strings"
 
 	"rteaal/sim"
 )
@@ -31,9 +37,13 @@ func run() error {
 		"register-ownership assignment for -partitions (round-robin|cone-cluster|min-cut)")
 	cycles := flag.Int64("cycles", 100, "cycles to simulate")
 	seed := flag.Int64("seed", 1, "random stimulus seed")
+	drive := flag.String("drive", "random", "input stimulus: random (seeded by -seed) or const")
+	driveValue := flag.Uint64("drive-value", 0, "value driven on every input with -drive const")
+	watch := flag.String("watch", "", "comma-separated signals to print after each cycle")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform to this file")
 	dumpOIM := flag.Bool("dump-oim", false, "write the OIM tensor as JSON to stdout and exit")
 	listKernels := flag.Bool("list-kernels", false, "list the kernel configurations and exit")
+	listSignals := flag.Bool("list-signals", false, "list the design's watchable signals and exit")
 	flag.Parse()
 
 	if *listKernels {
@@ -73,9 +83,26 @@ func run() error {
 	} else if strategySet {
 		fmt.Fprintln(os.Stderr, "rteaal: warning: -partition-strategy has no effect without -partitions")
 	}
+	var stim sim.Stimulus
+	switch *drive {
+	case "random":
+		stim = sim.RandomStimulus(*seed)
+	case "const":
+		stim = sim.ConstStimulus(*driveValue)
+	default:
+		return fmt.Errorf("unknown -drive %q (want random|const)", *drive)
+	}
+
 	design, err := sim.Compile(string(src), opts...)
 	if err != nil {
 		return err
+	}
+
+	if *listSignals {
+		for _, name := range design.Signals() {
+			fmt.Println(name)
+		}
+		return nil
 	}
 
 	st := design.Stats()
@@ -110,17 +137,31 @@ func run() error {
 		defer s.CloseWaveform()
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	nIn := len(design.Inputs())
-	for c := int64(0); c < *cycles; c++ {
-		for i := 0; i < nIn; i++ {
-			s.PokeIndex(i, rng.Uint64())
-		}
-		if err := s.Step(); err != nil {
-			return err
+	tb := s.Testbench()
+	tb.Drive(stim)
+	var watchPorts []*sim.Port
+	if *watch != "" {
+		for _, name := range strings.Split(*watch, ",") {
+			p, err := tb.Port(strings.TrimSpace(name))
+			if err != nil {
+				return fmt.Errorf("%w (signals: %s)", err, strings.Join(design.Signals(), " "))
+			}
+			watchPorts = append(watchPorts, p)
 		}
 	}
-	fmt.Printf("simulated %d cycles with kernel %s\n", s.Cycle(), kind)
+	for c := int64(0); c < *cycles; c++ {
+		if err := tb.Step(); err != nil {
+			return err
+		}
+		if len(watchPorts) > 0 {
+			fmt.Printf("cycle %d:", tb.Cycle())
+			for _, p := range watchPorts {
+				fmt.Printf(" %s=%d", p.Name(), p.Peek())
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("simulated %d cycles with kernel %s (stimulus: %s)\n", s.Cycle(), kind, *drive)
 	for _, name := range design.Outputs() {
 		v, err := s.Peek(name)
 		if err != nil {

@@ -1,0 +1,220 @@
+// Cross-engine differential fuzzing: random designs × random stimulus,
+// stepped through every execution engine the repository ships — scalar
+// session, RepCut-partitioned sessions, the fused batch schedule, the
+// lane-sharded parallel batch, and the pre-schedule scalar batch loop
+// (StepReference) — asserting bit-exact output and register traces. This is
+// the GSIM/Manticore-style validation discipline: the parallel and
+// specialised engines are only trusted because a reference semantics keeps
+// re-checking them on inputs nobody hand-picked.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/kernel"
+	"rteaal/internal/oim"
+	"rteaal/internal/testbench"
+	"rteaal/sim"
+)
+
+const (
+	diffSeeds  = 24
+	diffCycles = 24
+	diffLanes  = 3
+)
+
+// diffEngine is one engine shape under differential test, reduced to the
+// surface the harness drives: per-lane pokes, a global step, and per-lane
+// observation.
+type diffEngine struct {
+	name    string
+	lanes   int
+	outputs int
+	poke    func(lane, input int, v uint64)
+	step    func() error
+	out     func(lane, idx int) uint64
+	regs    func(lane int) []uint64
+	close   func()
+}
+
+// diffParams shapes the random designs; moderate sizes keep the whole
+// harness well under the CI budget while still covering every operation
+// class.
+func diffParams(seed int64) dfg.RandomParams {
+	rng := rand.New(rand.NewSource(seed * 7919))
+	return dfg.RandomParams{
+		Inputs:   2 + rng.Intn(4),
+		Regs:     4 + rng.Intn(6),
+		Ops:      40 + rng.Intn(80),
+		Consts:   3 + rng.Intn(4),
+		MaxWidth: 8 + rng.Intn(40),
+		MuxBias:  0.15 + rng.Float64()*0.25,
+	}
+}
+
+// reproLine is printed on failure so one seed reruns in isolation.
+func reproLine(seed int64) string {
+	p := diffParams(seed)
+	return fmt.Sprintf("repro: go test -run 'TestDifferentialCrossEngine/seed=%d' . "+
+		"(params %+v, cycles=%d, lanes=%d)", seed, p, diffCycles, diffLanes)
+}
+
+// diffEngines builds every engine shape over one random design.
+func diffEngines(t *testing.T, seed int64) ([]diffEngine, int) {
+	t.Helper()
+	g := dfg.RandomGraph(rand.New(rand.NewSource(seed)), diffParams(seed))
+
+	var engines []diffEngine
+	session := func(name string, opts ...sim.Option) int {
+		d, err := sim.CompileGraph(g, opts...)
+		if err != nil {
+			t.Fatalf("%s: compile: %v\n%s", name, err, reproLine(seed))
+		}
+		s := d.NewSession()
+		engines = append(engines, diffEngine{
+			name:    name,
+			lanes:   1,
+			outputs: len(d.Outputs()),
+			poke:    func(_, input int, v uint64) { s.PokeIndex(input, v) },
+			step:    s.Step,
+			out:     func(_, idx int) uint64 { return s.PeekIndex(idx) },
+			regs:    func(int) []uint64 { return s.Registers() },
+			close:   s.Close,
+		})
+		return len(d.Inputs())
+	}
+	batch := func(name string, workers int) {
+		d, err := sim.CompileGraph(g)
+		if err != nil {
+			t.Fatalf("%s: compile: %v\n%s", name, err, reproLine(seed))
+		}
+		b, err := d.NewBatchParallel(diffLanes, workers)
+		if err != nil {
+			t.Fatalf("%s: batch: %v\n%s", name, err, reproLine(seed))
+		}
+		engines = append(engines, diffEngine{
+			name:    name,
+			lanes:   diffLanes,
+			outputs: len(d.Outputs()),
+			poke:    func(lane, input int, v uint64) { b.PokeIndex(lane, input, v) },
+			step:    func() error { b.Step(); return nil },
+			out:     func(lane, idx int) uint64 { return b.PeekIndex(lane, idx) },
+			regs:    func(lane int) []uint64 { return b.Registers(lane) },
+			close:   b.Close,
+		})
+	}
+
+	inputs := session("session/PSU")
+	session("session/TI", sim.WithKernel(sim.TI))
+	session("partitioned/n=2", sim.WithPartitions(2))
+	session("partitioned/n=3", sim.WithPartitions(3))
+	batch("batch/fused", 1)
+	batch("batch/parallel/w=3", 3)
+
+	// StepReference: the pre-schedule scalar batch loop, kept as the parity
+	// oracle. It is built through the identical (deterministic) compile
+	// pipeline, directly at the kernel layer.
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatalf("reference: optimize: %v\n%s", err, reproLine(seed))
+	}
+	lv, err := dfg.Levelize(opt)
+	if err != nil {
+		t.Fatalf("reference: levelize: %v\n%s", err, reproLine(seed))
+	}
+	ten, err := oim.Build(lv)
+	if err != nil {
+		t.Fatalf("reference: oim: %v\n%s", err, reproLine(seed))
+	}
+	rb, err := kernel.NewBatch(ten, diffLanes)
+	if err != nil {
+		t.Fatalf("reference: batch: %v\n%s", err, reproLine(seed))
+	}
+	engines = append(engines, diffEngine{
+		name:    "batch/StepReference",
+		lanes:   diffLanes,
+		outputs: len(ten.OutputSlots),
+		poke:    func(lane, input int, v uint64) { rb.PokeInput(lane, input, v) },
+		step:    func() error { rb.StepReference(); return nil },
+		out:     func(lane, idx int) uint64 { return rb.PeekOutput(lane, idx) },
+		regs:    func(lane int) []uint64 { return rb.RegSnapshot(lane) },
+		close:   func() {},
+	})
+	return engines, inputs
+}
+
+// TestDifferentialCrossEngine is the harness: for each seed, every engine
+// shape replays the same (cycle, lane, input)-hashed stimulus and must
+// produce bit-exact per-lane output and register traces.
+func TestDifferentialCrossEngine(t *testing.T) {
+	for seed := int64(0); seed < diffSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			engines, inputs := diffEngines(t, seed)
+			defer func() {
+				for _, e := range engines {
+					e.close()
+				}
+			}()
+			stim := testbench.Random(seed*31 + 7)
+
+			// traces[engine][lane] accumulates outputs then registers,
+			// cycle by cycle.
+			traces := make([][][]uint64, len(engines))
+			for i, e := range engines {
+				traces[i] = make([][]uint64, e.lanes)
+			}
+			for c := int64(0); c < diffCycles; c++ {
+				for i, e := range engines {
+					for lane := 0; lane < e.lanes; lane++ {
+						for in := 0; in < inputs; in++ {
+							e.poke(lane, in, stim.Value(c, lane, in))
+						}
+					}
+					if err := e.step(); err != nil {
+						t.Fatalf("%s: step: %v\n%s", e.name, err, reproLine(seed))
+					}
+					for lane := 0; lane < e.lanes; lane++ {
+						for idx := 0; idx < e.outputs; idx++ {
+							traces[i][lane] = append(traces[i][lane], e.out(lane, idx))
+						}
+						traces[i][lane] = append(traces[i][lane], e.regs(lane)...)
+					}
+				}
+			}
+
+			// Compare lane-by-lane against engine 0 (the scalar session has
+			// one lane; wider engines compare lane 0 to it and the extra
+			// lanes among themselves).
+			ref := traces[0][0]
+			for i, e := range engines[1:] {
+				got := traces[i+1][0]
+				if !slices.Equal(got, ref) {
+					t.Fatalf("%s lane 0 diverges from %s\n%s",
+						e.name, engines[0].name, reproLine(seed))
+				}
+			}
+			var wideRef [][]uint64
+			var wideName string
+			for i, e := range engines {
+				if e.lanes < 2 {
+					continue
+				}
+				if wideRef == nil {
+					wideRef, wideName = traces[i], e.name
+					continue
+				}
+				for lane := 1; lane < e.lanes; lane++ {
+					if !slices.Equal(traces[i][lane], wideRef[lane]) {
+						t.Fatalf("%s lane %d diverges from %s\n%s",
+							e.name, lane, wideName, reproLine(seed))
+					}
+				}
+			}
+		})
+	}
+}

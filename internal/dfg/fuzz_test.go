@@ -1,0 +1,104 @@
+package dfg
+
+import (
+	"testing"
+
+	"rteaal/internal/wire"
+)
+
+// decodeGraph interprets a byte stream as graph-construction instructions.
+// The decoder deliberately produces malformed graphs — wrong arities,
+// out-of-range widths, disconnected registers, and (via the patch phase)
+// combinational cycles — because the property under test is that Validate
+// rejects them with an error and Levelize never panics on anything
+// Validate accepts.
+func decodeGraph(data []byte) *Graph {
+	g := &Graph{Name: "fuzz"}
+	var regs []NodeID
+	pos := 0
+	next := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	pick := func() NodeID {
+		if len(g.Nodes) == 0 {
+			return g.AddConst(1, 1)
+		}
+		return NodeID(int(next()) % len(g.Nodes))
+	}
+	// Widths range over 0..65 so the 1..64 validation boundary is
+	// exercised from both sides. AddConst/AddInput/AddReg mask through
+	// wire.Mask, which tolerates any width; Validate must reject them.
+	width := func() int { return int(next()) % 66 }
+
+	steps := int(next())%48 + 4
+	for i := 0; i < steps; i++ {
+		switch next() % 8 {
+		case 0:
+			g.AddInput("in", width())
+		case 1:
+			g.AddConst(uint64(next())<<8|uint64(next()), width())
+		case 2:
+			regs = append(regs, g.AddReg("r", width(), uint64(next())))
+		case 3, 4:
+			op := wire.Op(next() % byte(wire.NumOps))
+			arity := int(next())%4 + 1
+			args := make([]NodeID, arity)
+			for j := range args {
+				args[j] = pick()
+			}
+			g.AddOp(op, width(), args...)
+		case 5:
+			if len(g.Nodes) > 0 {
+				g.AddOutput("out", pick())
+			}
+		case 6:
+			if len(regs) > 0 {
+				g.SetRegNext(regs[int(next())%len(regs)], pick())
+			}
+		case 7:
+			// Patch phase: rewrite an existing argument to point anywhere,
+			// which is how combinational cycles enter.
+			if id := pick(); len(g.Nodes[id].Args) > 0 {
+				j := int(next()) % len(g.Nodes[id].Args)
+				g.Nodes[id].Args[j] = pick()
+				g.topo = nil
+			}
+		}
+	}
+	return g
+}
+
+// FuzzLevelize asserts the levelizer's contract: arbitrary (often
+// malformed) graphs either fail Validate with an error — never a panic —
+// or levelize successfully into a complete slot assignment.
+func FuzzLevelize(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 2, 2, 3, 1, 1, 6, 0, 0, 5, 1})
+	f.Add([]byte{16, 2, 10, 3, 5, 2, 0, 1, 7, 0, 0, 0, 6, 0, 2, 5, 3})
+	f.Add([]byte{40, 0, 63, 1, 255, 17, 2, 9, 3, 3, 2, 1, 0, 4, 7, 1, 2, 5, 9, 6, 1, 4})
+	f.Add([]byte("levelize me"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := decodeGraph(data)
+		if err := g.Validate(); err != nil {
+			return // rejected cleanly: the contract holds
+		}
+		lv, err := Levelize(g)
+		if err != nil {
+			t.Fatalf("validated graph failed to levelize: %v", err)
+		}
+		if lv.SlotCount != len(g.Nodes) {
+			t.Fatalf("slot count %d for %d nodes", lv.SlotCount, len(g.Nodes))
+		}
+		seen := make([]bool, lv.SlotCount)
+		for _, s := range lv.Slot {
+			if s < 0 || int(s) >= lv.SlotCount || seen[s] {
+				t.Fatalf("slot assignment not a bijection at %d", s)
+			}
+			seen[s] = true
+		}
+	})
+}

@@ -220,6 +220,12 @@ func (b *Batch) PeekOutput(lane, idx int) uint64 { return b.outs[idx*b.lanes+lan
 // PeekSlot reads any LI coordinate of one lane.
 func (b *Batch) PeekSlot(lane int, slot int32) uint64 { return b.li[slot][lane] }
 
+// PokeSlot writes any LI coordinate of one lane (host-DUT communication,
+// §6.2), masked to the slot's width.
+func (b *Batch) PokeSlot(lane int, slot int32, v uint64) {
+	b.li[slot][lane] = v & b.t.Masks[slot]
+}
+
 // RegSnapshot copies one lane's committed register values.
 func (b *Batch) RegSnapshot(lane int) []uint64 {
 	out := make([]uint64, len(b.t.RegSlots))

@@ -30,6 +30,11 @@ type Program struct {
 	// shared read-only by every batch.
 	batchOnce  sync.Once
 	batchSched *batchSchedule
+
+	// sigs is the name→slot resolution of the design's signals, built
+	// lazily once per program and shared read-only by every DMI port.
+	sigOnce sync.Once
+	sigs    SignalMap
 }
 
 // NewProgram lowers t for the configuration and returns the shared program.
@@ -100,6 +105,14 @@ func (p *Program) InstantiateBatch(lanes int) (*Batch, error) {
 func (p *Program) InstantiateBatchParallel(lanes, workers int) (*Batch, error) {
 	p.batchOnce.Do(func() { p.batchSched = buildBatchSchedule(p.t) })
 	return newBatch(p.t, p.batchSched, lanes, workers)
+}
+
+// Signals resolves the design's named signals (inputs, outputs, registers)
+// to LI coordinates. The map is built on first use — once per program, not
+// per port — and shared read-only afterwards.
+func (p *Program) Signals() SignalMap {
+	p.sigOnce.Do(func() { p.sigs = NewSignalMap(p.t) })
+	return p.sigs
 }
 
 // New builds the engine for a configuration. It is the single-engine

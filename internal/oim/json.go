@@ -48,6 +48,7 @@ type jsonTensor struct {
 	OutputSlots  []int32        `json:"output_slots"`
 	InputNames   []string       `json:"input_names"`
 	OutputNames  []string       `json:"output_names"`
+	RegNames     []string       `json:"reg_names,omitempty"`
 	EffectualOps int64          `json:"effectual_ops"`
 	IdentityOps  int64          `json:"identity_ops"`
 }
@@ -62,6 +63,7 @@ func (t *Tensor) WriteJSON(w io.Writer) error {
 		OutputSlots:  t.OutputSlots,
 		InputNames:   t.InputNames,
 		OutputNames:  t.OutputNames,
+		RegNames:     t.RegNames,
 		EffectualOps: t.EffectualOps,
 		IdentityOps:  t.IdentityOps,
 	}
@@ -100,6 +102,7 @@ func ReadJSON(r io.Reader) (*Tensor, error) {
 		OutputSlots:  jt.OutputSlots,
 		InputNames:   jt.InputNames,
 		OutputNames:  jt.OutputNames,
+		RegNames:     jt.RegNames,
 		EffectualOps: jt.EffectualOps,
 		IdentityOps:  jt.IdentityOps,
 	}

@@ -63,6 +63,9 @@ type Tensor struct {
 	// InputNames/OutputNames preserve port names for by-name access.
 	InputNames  []string
 	OutputNames []string
+	// RegNames preserves register names (RegSlots order) so the DMI layer
+	// of §6.2 can bind host ports to architectural state by name.
+	RegNames []string
 
 	// EffectualOps and IdentityOps carry the Table 1 accounting from
 	// levelization (identities are counted, then elided).
@@ -89,6 +92,9 @@ func Build(lv *dfg.Levelized) (*Tensor, error) {
 	}
 	for _, p := range g.Outputs {
 		t.OutputNames = append(t.OutputNames, p.Name)
+	}
+	for _, r := range g.Regs {
+		t.RegNames = append(t.RegNames, g.Nodes[r.Node].Name)
 	}
 	for id := range g.Nodes {
 		t.Masks[lv.Slot[id]] = g.Nodes[id].Mask()

@@ -29,6 +29,7 @@ package repcut
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -61,8 +62,15 @@ type Plan struct {
 	rum [][]rumEntry
 	// slotAuth[slot] is a partition whose LI holds an authoritative value
 	// for the coordinate: the owner for register Q/next slots, the sampling
-	// owner for output slots, and partition 0 for broadcast inputs.
+	// owner for output slots, and a consuming partition for inputs.
 	slotAuth []int
+	// slotUsers[slot] lists the partitions whose cones consume the
+	// coordinate (plus the owner for register coordinates): exactly the
+	// engines a host poke must reach. Routing pokes through this list —
+	// instead of broadcasting, or writing only the authoritative engine and
+	// silently starving the others — is what keeps DMI writes (§6.2)
+	// bit-identical to the unpartitioned engine.
+	slotUsers [][]int32
 
 	stats PlanStats
 }
@@ -239,6 +247,9 @@ func NewPlan(t *oim.Tensor, n int, strat partition.Strategy) (*Plan, error) {
 		}
 		for _, ri := range p.ownedRegs[part] {
 			sub.RegSlots = append(sub.RegSlots, t.RegSlots[ri])
+			if ri < len(t.RegNames) {
+				sub.RegNames = append(sub.RegNames, t.RegNames[ri])
+			}
 		}
 		sub.ConstSlots = append([]dfg.SlotInit(nil), t.ConstSlots...)
 		for _, layer := range t.Layers {
@@ -259,6 +270,40 @@ func NewPlan(t *oim.Tensor, n int, strat partition.Strategy) (*Plan, error) {
 		p.subs = append(p.subs, sub)
 	}
 
+	// Poke routing: record, per LI coordinate, the partitions whose cones
+	// consume it. Iterating partitions in ascending order keeps each list
+	// sorted and the routing deterministic.
+	p.slotUsers = make([][]int32, t.NumSlots)
+	for part := 0; part < n; part++ {
+		for slot := range needs[part] {
+			p.slotUsers[slot] = append(p.slotUsers[slot], int32(part))
+		}
+	}
+	ensureUser := func(slot int32, part int) {
+		if i, found := slices.BinarySearch(p.slotUsers[slot], int32(part)); !found {
+			p.slotUsers[slot] = slices.Insert(p.slotUsers[slot], i, int32(part))
+		}
+	}
+	// Inputs: the authoritative partition must be one that actually
+	// receives pokes, or Peek after Poke would read a stale copy. Inputs no
+	// cone reads still get one nominal user so the poke/peek pair stays
+	// coherent.
+	for _, slot := range t.InputSlots {
+		if len(p.slotUsers[slot]) == 0 {
+			p.slotUsers[slot] = append(p.slotUsers[slot], int32(p.slotAuth[slot]))
+		}
+		auth := false
+		for _, u := range p.slotUsers[slot] {
+			if int(u) == p.slotAuth[slot] {
+				auth = true
+				break
+			}
+		}
+		if !auth {
+			p.slotAuth[slot] = int(p.slotUsers[slot][0])
+		}
+	}
+
 	// Differential RUM (Box 1): register ri propagates only to the
 	// partitions whose cones actually read its Q coordinate, indexed by
 	// reader so each worker drains its own pull list. Foreign registers a
@@ -267,6 +312,10 @@ func NewPlan(t *oim.Tensor, n int, strat partition.Strategy) (*Plan, error) {
 	for ri, r := range t.RegSlots {
 		owner := p.regOwner[ri]
 		p.slotAuth[r.Q], p.slotAuth[r.Next] = owner, owner
+		// The owner commits the register even when its own cone never reads
+		// it back, so host pokes must always reach it.
+		ensureUser(r.Q, owner)
+		ensureUser(r.Next, owner)
 		for part := 0; part < n; part++ {
 			if part == owner || !needs[part][r.Q] {
 				continue
@@ -331,6 +380,17 @@ func (p *Plan) OutOwner(oi int) int { return p.outOwner[oi] }
 // register ri — exactly the destinations the RUM exchange updates.
 func (p *Plan) RegReaders(ri int) []int {
 	return append([]int(nil), p.readers[ri]...)
+}
+
+// SlotUsers reports the partitions a host poke of the LI coordinate is
+// routed to: every partition whose cone consumes it, plus the owner for
+// register coordinates.
+func (p *Plan) SlotUsers(slot int32) []int {
+	out := make([]int, len(p.slotUsers[slot]))
+	for i, u := range p.slotUsers[slot] {
+		out[i] = int(u)
+	}
+	return out
 }
 
 // Lower builds one shareable [kernel.Program] per partition for the given
@@ -547,10 +607,14 @@ func (in *instance) Reset() {
 	}
 }
 
-// PokeInput broadcasts a primary input to every partition.
+// PokeInput drives a primary input in every partition whose cone reads it.
+// Partitions that never consume the input skip the write — their copy is
+// dead state — so per-cycle stimulus costs the cut's fan-out, not a full
+// broadcast.
 func (in *instance) PokeInput(idx int, v uint64) {
-	for _, e := range in.engines {
-		e.PokeInput(idx, v)
+	slot := in.plan.t.InputSlots[idx]
+	for _, part := range in.plan.slotUsers[slot] {
+		in.engines[part].PokeInput(idx, v)
 	}
 }
 
@@ -565,11 +629,22 @@ func (in *instance) PeekSlot(slot int32) uint64 {
 	return in.engines[in.plan.slotAuth[slot]].PeekSlot(slot)
 }
 
-// PokeSlot broadcasts an LI coordinate write to every partition (host-DUT
-// communication, §6.2), mirroring the input broadcast.
+// PokeSlot writes an LI coordinate (host-DUT communication, §6.2) in every
+// partition that consumes it — the cones reading the coordinate plus, for
+// register coordinates, the owner that commits it. A non-authoritative
+// engine is never silently skipped: the routing list is exactly the set
+// whose next settle depends on the value, which keeps DMI pokes
+// bit-identical to the unpartitioned engine. Coordinates no partition
+// consumes fall back to the authoritative engine so Peek still observes
+// the write.
 func (in *instance) PokeSlot(slot int32, v uint64) {
-	for _, e := range in.engines {
-		e.PokeSlot(slot, v)
+	users := in.plan.slotUsers[slot]
+	if len(users) == 0 {
+		in.engines[in.plan.slotAuth[slot]].PokeSlot(slot, v)
+		return
+	}
+	for _, part := range users {
+		in.engines[part].PokeSlot(slot, v)
 	}
 }
 

@@ -1,120 +1,259 @@
 // Package testbench drives simulations: stimulus generators for the
-// workloads of Table 3 and a DMI-style host↔DUT port (§6.2) that reads and
-// updates designated signals in the LI tensor at the end of each cycle, the
-// way RTeAAL Sim connects a frontend server to the design under test.
+// workloads of Table 3 and a DMI-style host↔DUT port layer (§6.2) that
+// reads and updates designated signals in the LI tensor at cycle
+// boundaries, the way RTeAAL Sim connects a frontend server to the design
+// under test.
+//
+// The package is the single transaction-level implementation behind the
+// public sim.Testbench: every abstraction is expressed over [Lane] — the
+// poke/peek surface one kernel.Engine or one lane of a kernel.Batch
+// offers — so scalar sessions, RepCut-partitioned sessions, and multi-lane
+// batches all drive through identical code paths and produce identical
+// traces. Names are resolved to LI coordinates exactly once, at [Port]
+// construction, via kernel.SignalMap; the per-cycle hot path is purely
+// index-based.
 package testbench
 
 import (
 	"fmt"
-	"math/rand"
 
 	"rteaal/internal/kernel"
 )
 
-// Stimulus drives primary inputs before each cycle.
+// Lane is the poke/peek surface of one simulated instance: a kernel.Engine
+// is a Lane, and so is a single lane of a kernel.Batch (wrapped by the
+// caller). Everything in this package binds to lanes, which is what makes
+// the DMI layer engine-agnostic.
+type Lane interface {
+	// PokeInput drives the idx-th primary input.
+	PokeInput(idx int, v uint64)
+	// PeekOutput reads the idx-th primary output as sampled at the most
+	// recent settle.
+	PeekOutput(idx int) uint64
+	// PokeSlot writes an LI coordinate (masked to the slot's width).
+	PokeSlot(slot int32, v uint64)
+	// PeekSlot reads an LI coordinate.
+	PeekSlot(slot int32) uint64
+}
+
+// InputSink is the poke half of a [Lane]; stimulus application needs
+// nothing more.
+type InputSink interface {
+	PokeInput(idx int, v uint64)
+}
+
+// Stimulus yields the value driven onto one primary input of one lane at
+// one cycle. Values are pure functions of (cycle, lane, input) — never of
+// call order — so every engine shape replays exactly the same stimulus and
+// cross-engine traces stay comparable bit for bit.
 type Stimulus interface {
-	Apply(cycle int64, eng kernel.Engine)
+	Value(cycle int64, lane, input int) uint64
 }
 
-// RandomStimulus drives every input with seeded pseudo-random values,
-// approximating the toggle activity of a software workload.
-type RandomStimulus struct {
-	rng *rand.Rand
+// Const holds every input of every lane at a fixed value.
+type Const uint64
+
+// Value returns the constant.
+func (c Const) Value(int64, int, int) uint64 { return uint64(c) }
+
+// Func adapts a user function to a [Stimulus].
+type Func func(cycle int64, lane, input int) uint64
+
+// Value calls the function.
+func (f Func) Value(cycle int64, lane, input int) uint64 { return f(cycle, lane, input) }
+
+// randomStimulus drives seeded pseudo-random values, approximating the
+// toggle activity of a software workload. Each value is a hash of
+// (seed, cycle, lane, input), so lanes decorrelate and replay does not
+// depend on poke order.
+type randomStimulus uint64
+
+// Random builds a deterministic random driver.
+func Random(seed int64) Stimulus { return randomStimulus(seed) }
+
+// Value hashes the coordinates through the SplitMix64 finalizer.
+func (r randomStimulus) Value(cycle int64, lane, input int) uint64 {
+	h := mix64(uint64(r) ^ uint64(cycle))
+	h = mix64(h ^ uint64(lane))
+	return mix64(h ^ uint64(input))
 }
 
-// NewRandomStimulus builds a deterministic random driver.
-func NewRandomStimulus(seed int64) *RandomStimulus {
-	return &RandomStimulus{rng: rand.New(rand.NewSource(seed))}
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
-// Apply pokes all inputs.
-func (s *RandomStimulus) Apply(_ int64, eng kernel.Engine) {
-	n := len(eng.Tensor().InputSlots)
-	for i := 0; i < n; i++ {
-		eng.PokeInput(i, s.rng.Uint64())
+// Apply drives all of one lane's primary inputs for one cycle. A nil
+// stimulus drives nothing.
+func Apply(stim Stimulus, cycle int64, lane, inputs int, sink InputSink) {
+	if stim == nil {
+		return
+	}
+	for i := 0; i < inputs; i++ {
+		sink.PokeInput(i, stim.Value(cycle, lane, i))
 	}
 }
 
-// ConstStimulus holds every input at a fixed value.
-type ConstStimulus struct{ Value uint64 }
-
-// Apply pokes all inputs with the constant.
-func (s ConstStimulus) Apply(_ int64, eng kernel.Engine) {
-	n := len(eng.Tensor().InputSlots)
-	for i := 0; i < n; i++ {
-		eng.PokeInput(i, s.Value)
-	}
-}
-
-// Run drives the engine for n cycles.
+// Run drives the engine for n cycles as lane 0.
 func Run(eng kernel.Engine, stim Stimulus, n int64) {
+	inputs := len(eng.Tensor().InputSlots)
 	for c := int64(0); c < n; c++ {
-		if stim != nil {
-			stim.Apply(c, eng)
-		}
+		Apply(stim, c, 0, inputs, eng)
 		eng.Step()
 	}
 }
 
-// DMI is the Debug-Module-Interface-style host port: it binds named input
-// and output signals of the DUT and exchanges values with them between
-// cycles, as the FESVR↔DTM connection does in the paper.
+// DMI is the Debug-Module-Interface-style host port bundle: it binds the
+// named signals of one lane — inputs, outputs, and registers — and
+// exchanges values with them between cycles, as the FESVR↔DTM connection
+// does in the paper. The step callback advances the whole simulation the
+// lane belongs to (for a batch lane, all lanes step together) and is what
+// lets Wait and Transact work identically over every engine shape.
 type DMI struct {
-	eng  kernel.Engine
-	ins  map[string]int
-	outs map[string]int
+	lane Lane
+	sig  kernel.SignalMap
+	step func() error
 }
 
-// NewDMI indexes the engine's ports by name.
-func NewDMI(eng kernel.Engine) *DMI {
-	t := eng.Tensor()
-	d := &DMI{eng: eng, ins: map[string]int{}, outs: map[string]int{}}
-	for i, name := range t.InputNames {
-		d.ins[name] = i
-	}
-	for i, name := range t.OutputNames {
-		d.outs[name] = i
-	}
-	return d
+// New binds a DMI to one lane with a pre-built signal map and a step
+// function advancing the underlying simulation one cycle.
+func New(lane Lane, sig kernel.SignalMap, step func() error) *DMI {
+	return &DMI{lane: lane, sig: sig, step: step}
 }
 
-// Poke writes a named DUT input.
-func (d *DMI) Poke(name string, v uint64) error {
-	i, ok := d.ins[name]
+// NewEngine binds a DMI directly to an engine, resolving its signal map
+// from the engine's tensor.
+func NewEngine(eng kernel.Engine) *DMI {
+	return New(eng, kernel.NewSignalMap(eng.Tensor()), func() error { eng.Step(); return nil })
+}
+
+// Signals lists every resolvable signal name.
+func (d *DMI) Signals() []string { return d.sig.Names() }
+
+// Port resolves a named signal once; the returned port pokes and peeks by
+// LI coordinate with no further lookups.
+func (d *DMI) Port(name string) (*Port, error) {
+	s, ok := d.sig.Resolve(name)
 	if !ok {
-		return fmt.Errorf("testbench: no input named %q", name)
+		return nil, fmt.Errorf("testbench: no signal named %q", name)
 	}
-	d.eng.PokeInput(i, v)
+	return &Port{lane: d.lane, sig: s, step: d.step}, nil
+}
+
+// Poke writes a named signal (input or register).
+func (d *DMI) Poke(name string, v uint64) error {
+	p, err := d.Port(name)
+	if err != nil {
+		return err
+	}
+	p.Poke(v)
 	return nil
 }
 
-// Peek reads a named DUT output (sampled at the last settle).
+// Peek reads a named signal as of the last settle.
 func (d *DMI) Peek(name string) (uint64, error) {
-	i, ok := d.outs[name]
-	if !ok {
-		return 0, fmt.Errorf("testbench: no output named %q", name)
+	p, err := d.Port(name)
+	if err != nil {
+		return 0, err
 	}
-	return d.eng.PeekOutput(i), nil
+	return p.Peek(), nil
 }
 
+// Step advances the underlying simulation one cycle.
+func (d *DMI) Step() error { return d.step() }
+
 // Transact runs one host transaction: poke the request signals, step the
-// DUT until the predicate on a named output holds or budget cycles pass,
-// and return the response value.
-func (d *DMI) Transact(pokes map[string]uint64, respSignal string, ready func(uint64) bool, budget int) (uint64, error) {
+// DUT until the predicate on a named signal holds or maxCycles pass, and
+// return the response value. A nil predicate accepts the first cycle.
+func (d *DMI) Transact(pokes map[string]uint64, resp string, ready func(uint64) bool, maxCycles int) (uint64, error) {
 	for name, v := range pokes {
 		if err := d.Poke(name, v); err != nil {
 			return 0, err
 		}
 	}
-	for i := 0; i < budget; i++ {
-		d.eng.Step()
-		v, err := d.Peek(respSignal)
-		if err != nil {
+	rp, err := d.Port(resp)
+	if err != nil {
+		return 0, err
+	}
+	return rp.Wait(ready, maxCycles)
+}
+
+// Handshake completes one valid/ready transfer: drive the valid signal
+// high along with the request payload, step until the ready signal is
+// non-zero, then drop valid. It returns the number of cycles the transfer
+// took.
+func (d *DMI) Handshake(valid string, pokes map[string]uint64, ready string, maxCycles int) (int, error) {
+	vp, err := d.Port(valid)
+	if err != nil {
+		return 0, err
+	}
+	for name, v := range pokes {
+		if err := d.Poke(name, v); err != nil {
 			return 0, err
 		}
-		if ready == nil || ready(v) {
+	}
+	vp.Poke(1)
+	rp, err := d.Port(ready)
+	if err != nil {
+		return 0, err
+	}
+	cycles := 0
+	_, err = rp.Wait(func(v uint64) bool { cycles++; return v != 0 }, maxCycles)
+	// Drop valid on the timeout path too: a recoverable timeout must not
+	// leave the DUT consuming phantom beats on later cycles.
+	vp.Poke(0)
+	return cycles, err
+}
+
+// Port is one named signal resolved to its LI coordinate: the index-based
+// fast path for per-cycle host↔DUT exchange.
+type Port struct {
+	lane Lane
+	sig  kernel.Signal
+	step func() error
+}
+
+// Signal reports the port's compile-time resolution.
+func (p *Port) Signal() kernel.Signal { return p.sig }
+
+// Name reports the signal name.
+func (p *Port) Name() string { return p.sig.Name }
+
+// Poke writes the signal: inputs through the input fast path, registers
+// and outputs through their LI coordinate. Values are masked to the
+// signal's width.
+func (p *Port) Poke(v uint64) {
+	if p.sig.Kind == kernel.SignalInput {
+		p.lane.PokeInput(p.sig.Index, v)
+		return
+	}
+	p.lane.PokeSlot(p.sig.Slot, v)
+}
+
+// Peek reads the signal: outputs from the sampled outputs, inputs and
+// registers from their LI coordinate.
+func (p *Port) Peek() uint64 {
+	if p.sig.Kind == kernel.SignalOutput {
+		return p.lane.PeekOutput(p.sig.Index)
+	}
+	return p.lane.PeekSlot(p.sig.Slot)
+}
+
+// Wait steps the simulation until the predicate holds for the port's
+// value, for at most maxCycles cycles, and returns the accepted value. A
+// nil predicate accepts the first cycle. The wait starts with a step: the
+// port is sampled after each full cycle, never before the first.
+func (p *Port) Wait(pred func(uint64) bool, maxCycles int) (uint64, error) {
+	for i := 0; i < maxCycles; i++ {
+		if err := p.step(); err != nil {
+			return 0, err
+		}
+		v := p.Peek()
+		if pred == nil || pred(v) {
 			return v, nil
 		}
 	}
-	return 0, fmt.Errorf("testbench: transaction on %q timed out after %d cycles", respSignal, budget)
+	return 0, fmt.Errorf("testbench: wait on %q timed out after %d cycles", p.sig.Name, maxCycles)
 }

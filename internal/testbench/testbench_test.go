@@ -1,6 +1,7 @@
 package testbench
 
 import (
+	"strings"
 	"testing"
 
 	"rteaal/internal/dfg"
@@ -10,7 +11,7 @@ import (
 )
 
 // echoDesign: out_ready goes high one cycle after in_valid, echoing in_data.
-func echoDesign(t *testing.T) kernel.Engine {
+func echoDesign(t *testing.T, kind kernel.Kind) kernel.Engine {
 	t.Helper()
 	g := &dfg.Graph{Name: "echo"}
 	valid := g.AddInput("in_valid", 1)
@@ -29,7 +30,7 @@ func echoDesign(t *testing.T) kernel.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := kernel.New(ten, kernel.Config{Kind: kernel.PSU})
+	eng, err := kernel.New(ten, kernel.Config{Kind: kind})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,8 +38,7 @@ func echoDesign(t *testing.T) kernel.Engine {
 }
 
 func TestDMITransact(t *testing.T) {
-	eng := echoDesign(t)
-	dmi := NewDMI(eng)
+	dmi := NewEngine(echoDesign(t, kernel.PSU))
 	got, err := dmi.Transact(
 		map[string]uint64{"in_valid": 1, "in_data": 0xBEEF},
 		"out_ready", func(v uint64) bool { return v == 1 }, 10)
@@ -57,41 +57,184 @@ func TestDMITransact(t *testing.T) {
 	}
 }
 
-func TestDMIErrors(t *testing.T) {
-	eng := echoDesign(t)
-	dmi := NewDMI(eng)
-	if err := dmi.Poke("nope", 1); err == nil {
-		t.Error("unknown input accepted")
+func TestDMIRegisterPort(t *testing.T) {
+	dmi := NewEngine(echoDesign(t, kernel.TI))
+	// Registers resolve by name to their Q coordinate.
+	rd, err := dmi.Port("rd")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := dmi.Peek("nope"); err == nil {
-		t.Error("unknown output accepted")
+	if rd.Signal().Kind != kernel.SignalRegister {
+		t.Fatalf("rd resolved as %v", rd.Signal().Kind)
 	}
-	if _, err := dmi.Transact(map[string]uint64{"in_valid": 0}, "out_ready",
-		func(v uint64) bool { return v == 7 }, 3); err == nil {
-		t.Error("timeout not reported")
+	rd.Poke(0x1234)
+	if got := rd.Peek(); got != 0x1234 {
+		t.Fatalf("poked register reads %#x", got)
+	}
+	// The poked Q value feeds the next settle: out_data samples rd.
+	if err := dmi.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// After a full step the register has recommitted from in_data (0).
+	if got := rd.Peek(); got != 0 {
+		t.Fatalf("rd after recommit = %#x", got)
 	}
 }
 
-func TestStimuliDeterministic(t *testing.T) {
+func TestDMIErrors(t *testing.T) {
+	dmi := NewEngine(echoDesign(t, kernel.PSU))
+	if err := dmi.Poke("nope", 1); err == nil {
+		t.Error("unknown signal accepted for poke")
+	}
+	if _, err := dmi.Peek("nope"); err == nil {
+		t.Error("unknown signal accepted for peek")
+	}
+	if _, err := dmi.Port("nope"); err == nil {
+		t.Error("unknown signal accepted for port")
+	}
+	_, err := dmi.Transact(map[string]uint64{"in_valid": 0}, "out_ready",
+		func(v uint64) bool { return v == 7 }, 3)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("timeout not reported: %v", err)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	dmi := NewEngine(echoDesign(t, kernel.PSU))
+	cycles, err := dmi.Handshake("in_valid", map[string]uint64{"in_data": 77}, "out_ready", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outputs are sampled at settle, before the commit of the same cycle,
+	// so the registered ready is observed two cycles after valid asserts.
+	if cycles != 2 {
+		t.Fatalf("echo handshake took %d cycles, want 2", cycles)
+	}
+	// Valid was dropped after the transfer.
+	vp, err := dmi.Port("in_valid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.Peek() != 0 {
+		t.Fatal("valid still asserted after handshake")
+	}
+	if _, err := dmi.Handshake("nope", nil, "out_ready", 5); err == nil {
+		t.Fatal("unknown valid signal accepted")
+	}
+}
+
+// TestHandshakeTimeoutDropsValid: a timed-out handshake must not leave the
+// valid signal asserted, or later cycles would consume phantom beats.
+func TestHandshakeTimeoutDropsValid(t *testing.T) {
+	// A DUT whose ready never rises: out_ready mirrors a register stuck 0.
+	g := &dfg.Graph{Name: "stuck"}
+	g.AddInput("in_valid", 1)
+	z := g.AddReg("rz", 1, 0)
+	g.SetRegNext(z, g.AddConst(0, 1))
+	g.AddOutput("out_ready", z)
+	lv, err := dfg.Levelize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := oim.Build(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := kernel.New(ten, kernel.Config{Kind: kernel.PSU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmi := NewEngine(eng)
+	if _, err := dmi.Handshake("in_valid", nil, "out_ready", 3); err == nil {
+		t.Fatal("stuck handshake did not time out")
+	}
+	vp, err := dmi.Port("in_valid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.Peek() != 0 {
+		t.Fatal("valid still asserted after handshake timeout")
+	}
+}
+
+func TestSignalsListing(t *testing.T) {
+	dmi := NewEngine(echoDesign(t, kernel.PSU))
+	names := dmi.Signals()
+	want := []string{"in_data", "in_valid", "out_data", "out_ready", "rd", "rv"}
+	if len(names) != len(want) {
+		t.Fatalf("Signals() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Signals() = %v, want %v", names, want)
+		}
+	}
+}
+
+func xorAccTensor(t *testing.T) *oim.Tensor {
+	t.Helper()
 	g := &dfg.Graph{Name: "acc"}
 	in := g.AddInput("x", 8)
 	r := g.AddReg("acc", 8, 0)
 	g.SetRegNext(r, g.AddOp(wire.Xor, 8, r, in))
 	g.AddOutput("acc", r)
-	lv, _ := dfg.Levelize(g)
-	ten, _ := oim.Build(lv)
+	lv, err := dfg.Levelize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := oim.Build(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ten
+}
 
+func TestStimuliDeterministic(t *testing.T) {
+	ten := xorAccTensor(t)
 	run := func(stim Stimulus) uint64 {
 		eng, _ := kernel.New(ten, kernel.Config{Kind: kernel.TI})
 		Run(eng, stim, 50)
 		return eng.RegSnapshot()[0]
 	}
-	a := run(NewRandomStimulus(7))
-	b := run(NewRandomStimulus(7))
+	a := run(Random(7))
+	b := run(Random(7))
 	if a != b {
 		t.Fatalf("random stimulus not deterministic: %d vs %d", a, b)
 	}
-	if got := run(ConstStimulus{Value: 0}); got != 0 {
+	if run(Random(7)) == run(Random(8)) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	if got := run(Const(0)); got != 0 {
 		t.Fatalf("const-0 stimulus should keep acc 0, got %d", got)
+	}
+	// Func stimulus sees (cycle, lane, input) coordinates.
+	got := run(Func(func(cycle int64, lane, input int) uint64 {
+		if lane != 0 || input != 0 {
+			t.Fatalf("unexpected coordinates lane=%d input=%d", lane, input)
+		}
+		return uint64(cycle)
+	}))
+	want := uint64(0)
+	for c := 0; c < 50; c++ {
+		want = (want ^ uint64(c)) & 0xFF
+	}
+	if got != want {
+		t.Fatalf("func stimulus acc = %d, want %d", got, want)
+	}
+}
+
+// TestStimulusOrderIndependence is the property the cross-engine harness
+// relies on: the value driven on (cycle, lane, input) does not depend on
+// which other coordinates were queried before it.
+func TestStimulusOrderIndependence(t *testing.T) {
+	s := Random(42)
+	a := s.Value(3, 1, 2)
+	_ = s.Value(9, 9, 9)
+	_ = s.Value(0, 0, 0)
+	if got := s.Value(3, 1, 2); got != a {
+		t.Fatalf("stimulus value changed across calls: %d vs %d", got, a)
+	}
+	if s.Value(3, 1, 2) == s.Value(3, 2, 1) {
+		t.Fatal("lane/input swap produced identical value (suspicious hash)")
 	}
 }

@@ -104,6 +104,9 @@ type Design struct {
 	cfg     config
 	inputs  map[string]int
 	outputs map[string]int
+	// signals resolves every named signal (inputs, outputs, registers) to
+	// its LI coordinate, built once at compile time for the DMI layer.
+	signals kernel.SignalMap
 
 	// plan and partProgs are set when the design was compiled with
 	// [WithPartitions]: the immutable partition plan and the per-partition
@@ -182,6 +185,7 @@ func CompileGraph(g *dfg.Graph, opts ...Option) (*Design, error) {
 		cfg:     cfg,
 		inputs:  make(map[string]int, len(t.InputNames)),
 		outputs: make(map[string]int, len(t.OutputNames)),
+		signals: kernel.NewSignalMap(t),
 	}
 	for i, n := range t.InputNames {
 		d.inputs[n] = i
@@ -227,6 +231,11 @@ func (d *Design) Inputs() []string {
 func (d *Design) Outputs() []string {
 	return append([]string(nil), d.tensor.OutputNames...)
 }
+
+// Signals lists every name a [Testbench] port can bind: primary inputs,
+// primary outputs, and architectural registers, sorted. When one name is
+// used by several classes, inputs shadow outputs, which shadow registers.
+func (d *Design) Signals() []string { return d.signals.Names() }
 
 // Stats summarises the compiled design.
 type Stats struct {

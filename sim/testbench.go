@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+
+	"rteaal/internal/kernel"
+	"rteaal/internal/testbench"
+)
+
+// Stimulus yields the value driven onto one primary input of one lane at
+// one cycle. Values are pure functions of (cycle, lane, input) — never of
+// call order — so the same stimulus replays bit-identically over a scalar
+// [Session], a partitioned session, and every lane shape of a [Batch].
+// Input indices follow [Design.Inputs]; sessions are lane 0.
+type Stimulus interface {
+	Value(cycle int64, lane, input int) uint64
+}
+
+// RandomStimulus drives every input with seeded pseudo-random values,
+// approximating the toggle activity of a software workload. Each value is
+// a hash of (seed, cycle, lane, input), so lanes decorrelate and replay is
+// exact across engines.
+func RandomStimulus(seed int64) Stimulus { return testbench.Random(seed) }
+
+// ConstStimulus holds every input of every lane at a fixed value.
+func ConstStimulus(v uint64) Stimulus { return testbench.Const(v) }
+
+// StimulusFunc adapts a user function to a [Stimulus].
+type StimulusFunc func(cycle int64, lane, input int) uint64
+
+// Value calls the function.
+func (f StimulusFunc) Value(cycle int64, lane, input int) uint64 { return f(cycle, lane, input) }
+
+// Testbench is the transaction-level host frontend of §6.2 bound to one
+// [Session] or [Batch]: named-signal DMI ports resolved once to LI-tensor
+// coordinates, per-cycle stimulus drivers, and transaction helpers that
+// work identically over the scalar, partitioned, and multi-lane batch
+// engines. The per-cycle hot path is index-based — name maps are only
+// consulted when a [Port] is created.
+//
+// A testbench shares the state of the session or batch it is bound to and
+// inherits its concurrency contract: not safe for concurrent use.
+type Testbench struct {
+	d      *Design
+	lanes  []testbench.Lane
+	dmis   []*testbench.DMI
+	stim   Stimulus
+	inputs int
+	cycle  func() int64
+	// advance steps the bound session or batch one cycle (all lanes).
+	advance func() error
+}
+
+// Testbench binds a transaction-level testbench to the session. The
+// session remains usable directly; the testbench drives it through the
+// same Step path (waveform capture and cycle counting included).
+func (s *Session) Testbench() *Testbench {
+	tb := &Testbench{
+		d:       s.d,
+		inputs:  len(s.d.tensor.InputSlots),
+		cycle:   func() int64 { return s.cycle },
+		advance: s.Step,
+	}
+	tb.bind([]testbench.Lane{s.eng})
+	return tb
+}
+
+// Testbench binds a transaction-level testbench to the batch, exposing one
+// DMI lane per batch lane. Stepping is global — all lanes advance together
+// — while ports poke and peek individual lanes.
+func (b *Batch) Testbench() *Testbench {
+	lanes := make([]testbench.Lane, b.Lanes())
+	for l := range lanes {
+		lanes[l] = batchLane{b: b.b, lane: l}
+	}
+	tb := &Testbench{
+		d:       b.d,
+		inputs:  len(b.d.tensor.InputSlots),
+		cycle:   func() int64 { return b.cycle },
+		advance: func() error { b.Step(); return nil },
+	}
+	tb.bind(lanes)
+	return tb
+}
+
+func (tb *Testbench) bind(lanes []testbench.Lane) {
+	tb.lanes = lanes
+	tb.dmis = make([]*testbench.DMI, len(lanes))
+	for l, lane := range lanes {
+		tb.dmis[l] = testbench.New(lane, tb.d.signals, tb.tick)
+	}
+}
+
+// batchLane is the poke/peek surface of one batch lane.
+type batchLane struct {
+	b    *kernel.Batch
+	lane int
+}
+
+func (l batchLane) PokeInput(idx int, v uint64)   { l.b.PokeInput(l.lane, idx, v) }
+func (l batchLane) PeekOutput(idx int) uint64     { return l.b.PeekOutput(l.lane, idx) }
+func (l batchLane) PokeSlot(slot int32, v uint64) { l.b.PokeSlot(l.lane, slot, v) }
+func (l batchLane) PeekSlot(slot int32) uint64    { return l.b.PeekSlot(l.lane, slot) }
+
+// tick applies the stimulus (if any) to every lane, then advances the
+// bound simulation one cycle. It is the single step path shared by Step,
+// Run, Wait, and the transaction helpers.
+func (tb *Testbench) tick() error {
+	if tb.stim != nil {
+		c := tb.cycle()
+		for l, lane := range tb.lanes {
+			testbench.Apply(tb.stim, c, l, tb.inputs, lane)
+		}
+	}
+	return tb.advance()
+}
+
+// Lanes reports the number of drivable lanes (1 for a session).
+func (tb *Testbench) Lanes() int { return len(tb.lanes) }
+
+// Cycle reports completed cycles of the bound session or batch.
+func (tb *Testbench) Cycle() int64 { return tb.cycle() }
+
+// Signals lists every resolvable signal name: primary inputs, primary
+// outputs, and architectural registers (by their design names).
+func (tb *Testbench) Signals() []string { return tb.d.signals.Names() }
+
+// Drive installs a stimulus applied to every lane's primary inputs before
+// each cycle the testbench steps. A nil stimulus clears it. The stimulus
+// re-drives every input, including inputs poked through ports — for pure
+// transaction-level driving, leave the stimulus unset.
+func (tb *Testbench) Drive(stim Stimulus) { tb.stim = stim }
+
+// Step advances one cycle: stimulus first, then the underlying Step.
+func (tb *Testbench) Step() error { return tb.tick() }
+
+// Run advances n cycles.
+func (tb *Testbench) Run(n int64) error {
+	for i := int64(0); i < n; i++ {
+		if err := tb.tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Port resolves a named signal of lane 0 once; the returned port pokes and
+// peeks by LI coordinate with no further lookups.
+func (tb *Testbench) Port(name string) (*Port, error) { return tb.PortLane(name, 0) }
+
+// PortLane resolves a named signal of one batch lane.
+func (tb *Testbench) PortLane(name string, lane int) (*Port, error) {
+	if lane < 0 || lane >= len(tb.lanes) {
+		return nil, fmt.Errorf("sim: lane %d out of range [0,%d)", lane, len(tb.lanes))
+	}
+	p, err := tb.dmis[lane].Port(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Port{p: p, lane: lane}, nil
+}
+
+// Transact runs one host transaction on lane 0: poke the request signals,
+// step until the predicate on the named response signal holds or maxCycles
+// pass, and return the response value. A nil predicate accepts the first
+// cycle.
+func (tb *Testbench) Transact(pokes map[string]uint64, resp string, ready func(uint64) bool, maxCycles int) (uint64, error) {
+	return tb.TransactLane(0, pokes, resp, ready, maxCycles)
+}
+
+// TransactLane is [Testbench.Transact] against one batch lane. Stepping
+// advances every lane; the transaction pokes and observes only this one.
+func (tb *Testbench) TransactLane(lane int, pokes map[string]uint64, resp string, ready func(uint64) bool, maxCycles int) (uint64, error) {
+	if lane < 0 || lane >= len(tb.lanes) {
+		return 0, fmt.Errorf("sim: lane %d out of range [0,%d)", lane, len(tb.lanes))
+	}
+	return tb.dmis[lane].Transact(pokes, resp, ready, maxCycles)
+}
+
+// Handshake completes one valid/ready transfer on lane 0: drive the valid
+// signal high along with the request payload, step until the ready signal
+// is non-zero, then drop valid. It returns the number of cycles the
+// transfer took.
+func (tb *Testbench) Handshake(valid string, pokes map[string]uint64, ready string, maxCycles int) (int, error) {
+	return tb.HandshakeLane(0, valid, pokes, ready, maxCycles)
+}
+
+// HandshakeLane is [Testbench.Handshake] against one batch lane.
+func (tb *Testbench) HandshakeLane(lane int, valid string, pokes map[string]uint64, ready string, maxCycles int) (int, error) {
+	if lane < 0 || lane >= len(tb.lanes) {
+		return 0, fmt.Errorf("sim: lane %d out of range [0,%d)", lane, len(tb.lanes))
+	}
+	return tb.dmis[lane].Handshake(valid, pokes, ready, maxCycles)
+}
+
+// Port is one named signal of one lane resolved to its LI-tensor
+// coordinate at construction: the index-based fast path for per-cycle
+// host↔DUT exchange. Ports of partitioned sessions route pokes to exactly
+// the partitions whose cones consume the signal and peeks to an
+// authoritative partition, so transactions stay bit-identical to the
+// scalar engine.
+type Port struct {
+	p    *testbench.Port
+	lane int
+}
+
+// Name reports the signal name.
+func (p *Port) Name() string { return p.p.Name() }
+
+// Lane reports which lane the port is bound to (0 for sessions).
+func (p *Port) Lane() int { return p.lane }
+
+// Kind reports whether the port is an input, output, or register.
+func (p *Port) Kind() string { return p.p.Signal().Kind.String() }
+
+// Poke writes the signal: inputs through the input fast path, registers
+// through their committed (Q) coordinate. Values are masked to the
+// signal's width.
+func (p *Port) Poke(v uint64) { p.p.Poke(v) }
+
+// Peek reads the signal as of the last settle.
+func (p *Port) Peek() uint64 { return p.p.Peek() }
+
+// Wait steps the whole testbench (stimulus included, if one is set) until
+// the predicate holds for the port's value, for at most maxCycles cycles,
+// and returns the accepted value. The port is sampled after each full
+// cycle; a nil predicate accepts the first. Timeout is an error.
+func (p *Port) Wait(pred func(uint64) bool, maxCycles int) (uint64, error) {
+	return p.p.Wait(pred, maxCycles)
+}

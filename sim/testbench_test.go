@@ -1,0 +1,405 @@
+package sim_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rteaal/sim"
+)
+
+// dmiSrc is a DMI-style DUT: a one-cycle echo register pair behind a
+// valid/ready handshake, plus a free-running tick counter.
+const dmiSrc = `
+circuit Dmi :
+  module Dmi :
+    input clock : Clock
+    input reset : UInt<1>
+    input in_valid : UInt<1>
+    input in_data : UInt<16>
+    output out_ready : UInt<1>
+    output out_data : UInt<16>
+    output ticks : UInt<8>
+    reg rv : UInt<1>, clock
+    reg rd : UInt<16>, clock
+    regreset cnt : UInt<8>, clock, reset, UInt<8>(0)
+    rv <= in_valid
+    rd <= in_data
+    cnt <= tail(add(cnt, UInt<1>(1)), 1)
+    out_ready <= rv
+    out_data <= rd
+    ticks <= cnt
+`
+
+// dmiScript drives one fixed transaction scenario through a testbench and
+// returns the full observation trace: handshake latency, transaction
+// responses, and the peek value of every signal port after each phase.
+func dmiScript(t *testing.T, tb *sim.Testbench) []uint64 {
+	t.Helper()
+	var trace []uint64
+	ports := map[string]*sim.Port{}
+	for _, name := range []string{"in_valid", "in_data", "out_ready", "out_data", "ticks", "rv", "rd", "cnt"} {
+		p, err := tb.Port(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[name] = p
+	}
+	record := func() {
+		for _, name := range []string{"in_valid", "in_data", "out_ready", "out_data", "ticks", "rv", "rd", "cnt"} {
+			trace = append(trace, ports[name].Peek())
+		}
+		trace = append(trace, uint64(tb.Cycle()))
+	}
+
+	// Phase 1: valid/ready handshake carrying a payload.
+	cycles, err := tb.Handshake("in_valid", map[string]uint64{"in_data": 0xA5A5}, "out_ready", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace = append(trace, uint64(cycles))
+	record()
+
+	// Phase 2: transact until the echoed payload appears.
+	got, err := tb.Transact(map[string]uint64{"in_valid": 1, "in_data": 0x0F0F},
+		"out_data", func(v uint64) bool { return v == 0x0F0F }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace = append(trace, got)
+	record()
+
+	// Phase 3: host pokes architectural state directly (a register port)
+	// and the next settle must observe it — the routed-poke path.
+	ports["cnt"].Poke(200)
+	if got := ports["cnt"].Peek(); got != 200 {
+		t.Fatalf("cnt after poke = %d", got)
+	}
+	if err := tb.Step(); err != nil {
+		t.Fatal(err)
+	}
+	record()
+
+	// Phase 4: wait for the counter to reach a later value.
+	v, err := ports["ticks"].Wait(func(v uint64) bool { return v >= 203 }, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace = append(trace, v)
+	record()
+	return trace
+}
+
+// TestDMIGoldenTraceAllKernels runs the DMI transaction script over every
+// kernel × {1, 3} partitions and asserts every configuration produces the
+// bit-identical observation trace.
+func TestDMIGoldenTraceAllKernels(t *testing.T) {
+	var golden []uint64
+	var goldenName string
+	for _, k := range sim.Kernels() {
+		for _, parts := range []int{1, 3} {
+			name := fmt.Sprintf("%v/parts=%d", k, parts)
+			opts := []sim.Option{sim.WithKernel(k)}
+			if parts > 1 {
+				opts = append(opts, sim.WithPartitions(parts))
+			}
+			d, err := sim.Compile(dmiSrc, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			s := d.NewSession()
+			trace := dmiScript(t, s.Testbench())
+			s.Close()
+			if golden == nil {
+				golden, goldenName = trace, name
+				continue
+			}
+			if len(trace) != len(golden) {
+				t.Fatalf("%s: trace length %d, want %d", name, len(trace), len(golden))
+			}
+			for i := range golden {
+				if trace[i] != golden[i] {
+					t.Fatalf("%s diverges from %s at trace[%d]: %d != %d",
+						name, goldenName, i, trace[i], golden[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDMIGoldenTraceBatch runs the same script against batch lanes — fused
+// sequential and lane-sharded parallel — and asserts the trace matches the
+// scalar session's.
+func TestDMIGoldenTraceBatch(t *testing.T) {
+	d, err := sim.Compile(dmiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.NewSession()
+	golden := dmiScript(t, s.Testbench())
+
+	for _, workers := range []int{1, 3} {
+		b, err := d.NewBatchParallel(3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace := dmiScript(t, b.Testbench())
+		b.Close()
+		for i := range golden {
+			if trace[i] != golden[i] {
+				t.Fatalf("batch workers=%d diverges at trace[%d]: %d != %d",
+					workers, i, trace[i], golden[i])
+			}
+		}
+	}
+}
+
+// TestPortPeekParityAcrossEngines drives the same random stimulus through
+// scalar, partitioned, fused-batch, and parallel-batch engines and asserts
+// the per-cycle Port peek traces are identical. Batch lanes beyond 0 are
+// cross-checked against a session replaying that lane's stimulus.
+func TestPortPeekParityAcrossEngines(t *testing.T) {
+	const cycles = 32
+	const lanes = 3
+	watch := []string{"out_ready", "out_data", "ticks", "rv", "rd", "cnt"}
+	stim := sim.RandomStimulus(99)
+
+	// laneTrace collects the watched ports of one testbench lane per cycle.
+	laneTrace := func(tb *sim.Testbench, lane int) []uint64 {
+		var ports []*sim.Port
+		for _, name := range watch {
+			p, err := tb.PortLane(name, lane)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ports = append(ports, p)
+		}
+		var tr []uint64
+		for c := 0; c < cycles; c++ {
+			if err := tb.Step(); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ports {
+				tr = append(tr, p.Peek())
+			}
+		}
+		return tr
+	}
+
+	compile := func(opts ...sim.Option) *sim.Design {
+		d, err := sim.Compile(dmiSrc, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	base := compile()
+	s := base.NewSession()
+	tb := s.Testbench()
+	tb.Drive(stim)
+	golden := laneTrace(tb, 0)
+
+	// Partitioned sessions, n ∈ {2, 3}.
+	for _, parts := range []int{2, 3} {
+		d := compile(sim.WithPartitions(parts))
+		ps := d.NewSession()
+		ptb := ps.Testbench()
+		ptb.Drive(stim)
+		tr := laneTrace(ptb, 0)
+		ps.Close()
+		for i := range golden {
+			if tr[i] != golden[i] {
+				t.Fatalf("partitioned n=%d diverges at trace[%d]: %d != %d", parts, i, tr[i], golden[i])
+			}
+		}
+	}
+
+	// Batches: fused sequential and parallel. Lane 0 must equal the
+	// session; lane l must equal a session replaying lane l's stimulus.
+	for _, workers := range []int{1, 3} {
+		b, err := base.NewBatchParallel(lanes, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		btb := b.Testbench()
+		btb.Drive(stim)
+		var traces [lanes][]uint64
+		var ports [lanes][]*sim.Port
+		for l := 0; l < lanes; l++ {
+			for _, name := range watch {
+				p, err := btb.PortLane(name, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ports[l] = append(ports[l], p)
+			}
+		}
+		for c := 0; c < cycles; c++ {
+			if err := btb.Step(); err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < lanes; l++ {
+				for _, p := range ports[l] {
+					traces[l] = append(traces[l], p.Peek())
+				}
+			}
+		}
+		b.Close()
+		for i := range golden {
+			if traces[0][i] != golden[i] {
+				t.Fatalf("batch workers=%d lane 0 diverges at trace[%d]: %d != %d",
+					workers, i, traces[0][i], golden[i])
+			}
+		}
+		for l := 1; l < lanes; l++ {
+			lane := l
+			rs := base.NewSession()
+			rtb := rs.Testbench()
+			rtb.Drive(sim.StimulusFunc(func(cycle int64, _, input int) uint64 {
+				return stim.Value(cycle, lane, input)
+			}))
+			want := laneTrace(rtb, 0)
+			for i := range want {
+				if traces[l][i] != want[i] {
+					t.Fatalf("batch workers=%d lane %d diverges at trace[%d]: %d != %d",
+						workers, l, i, traces[l][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedRegisterPokeParity is the regression test for routed DMI
+// pokes: a register poked mid-run on a partitioned session must influence
+// every partition's cone exactly as it does on the scalar engine, even
+// when the poked register is read by cones its owner does not host.
+func TestPartitionedRegisterPokeParity(t *testing.T) {
+	run := func(opts ...sim.Option) []uint64 {
+		d, err := sim.Compile(dmiSrc, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := d.NewSession()
+		defer s.Close()
+		tb := s.Testbench()
+		tb.Drive(sim.RandomStimulus(7))
+		var tr []uint64
+		for c := 0; c < 24; c++ {
+			if c%5 == 2 {
+				// Host rewrites architectural state mid-run.
+				for _, reg := range []string{"cnt", "rd", "rv"} {
+					p, err := tb.Port(reg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p.Poke(uint64(c * 13))
+				}
+			}
+			if err := tb.Step(); err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []string{"out_ready", "out_data", "ticks"} {
+				p, err := tb.Port(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr = append(tr, p.Peek())
+			}
+			tr = append(tr, s.Registers()...)
+		}
+		return tr
+	}
+	golden := run()
+	for _, parts := range []int{2, 3} {
+		got := run(sim.WithPartitions(parts))
+		for i := range golden {
+			if got[i] != golden[i] {
+				t.Fatalf("partitioned n=%d poke trace diverges at [%d]: %d != %d",
+					parts, i, got[i], golden[i])
+			}
+		}
+	}
+}
+
+func TestTestbenchErrors(t *testing.T) {
+	d, err := sim.Compile(dmiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.NewSession()
+	tb := s.Testbench()
+	if _, err := tb.Port("bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown signal: %v", err)
+	}
+	if _, err := tb.PortLane("ticks", 1); err == nil {
+		t.Error("out-of-range lane accepted on session testbench")
+	}
+	if _, err := tb.PortLane("ticks", -1); err == nil {
+		t.Error("negative lane accepted")
+	}
+	if _, err := tb.Transact(map[string]uint64{"bogus": 1}, "ticks", nil, 3); err == nil {
+		t.Error("transact with unknown poke signal accepted")
+	}
+	if _, err := tb.Transact(nil, "bogus", nil, 3); err == nil {
+		t.Error("transact with unknown response signal accepted")
+	}
+	if _, err := tb.TransactLane(9, nil, "ticks", nil, 3); err == nil {
+		t.Error("transact on out-of-range lane accepted")
+	}
+	if _, err := tb.Handshake("bogus", nil, "out_ready", 3); err == nil {
+		t.Error("handshake with unknown valid signal accepted")
+	}
+	if _, err := tb.HandshakeLane(9, "in_valid", nil, "out_ready", 3); err == nil {
+		t.Error("handshake on out-of-range lane accepted")
+	}
+
+	// Wait timeout: out_ready can never be 7.
+	p, err := tb.Port("out_ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tb.Cycle()
+	_, err = p.Wait(func(v uint64) bool { return v == 7 }, 4)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("wait timeout: %v", err)
+	}
+	if got := tb.Cycle() - before; got != 4 {
+		t.Errorf("timed-out wait stepped %d cycles, want 4", got)
+	}
+}
+
+func TestDesignSignals(t *testing.T) {
+	d, err := sim.Compile(dmiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := d.Signals()
+	for _, want := range []string{"in_valid", "in_data", "out_ready", "out_data", "ticks", "rv", "rd", "cnt"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Signals() missing %q: %v", want, names)
+		}
+	}
+	s := d.NewSession()
+	tb := s.Testbench()
+	if got := tb.Signals(); len(got) != len(names) {
+		t.Errorf("testbench Signals() = %v, design Signals() = %v", got, names)
+	}
+	if tb.Lanes() != 1 {
+		t.Errorf("session testbench lanes = %d", tb.Lanes())
+	}
+	p, err := tb.Port("cnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind() != "register" || p.Name() != "cnt" || p.Lane() != 0 {
+		t.Errorf("port metadata: kind=%s name=%s lane=%d", p.Kind(), p.Name(), p.Lane())
+	}
+}
