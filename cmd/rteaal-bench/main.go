@@ -15,7 +15,10 @@
 // worker scaling). "partitions" is the RepCut strong-scaling study
 // (speedup vs. replication and cut size, per partition strategy, with and
 // without OS-thread pinning), and "partition-quality" sweeps strategy ×
-// partition count across the benchmark designs.
+// partition count across the benchmark designs. "serve" drives a loopback
+// instance of the HTTP session service (internal/server) through
+// sim/client at command-batch sizes 1/16/256, reporting requests/s and
+// delivered cycles/s against the in-process testbench rate.
 //
 // With -json <path>, every experiment's results are additionally emitted
 // as one machine-readable document: {experiment, design, metric, value,
@@ -70,6 +73,7 @@ func main() {
 		"batch":             func() error { return bench.BatchSweep(os.Stdout, c) },
 		"partitions":        func() error { return partitionScaling(c) },
 		"partition-quality": func() error { return bench.PartitionQuality(os.Stdout, c) },
+		"serve":             func() error { return bench.Serve(os.Stdout, c) },
 	}
 
 	args := flag.Args()
@@ -86,7 +90,7 @@ func main() {
 		}
 		f, ok := experiments[name]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, workloads, batch, partitions, partition-quality, all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, workloads, batch, partitions, partition-quality, serve, all)", name))
 		}
 		if err := f(); err != nil {
 			fatal(err)

@@ -1,0 +1,83 @@
+// Command rteaal-serve runs the simulation-as-a-service HTTP endpoint: a
+// cross-user compiled-design cache with elastic per-design session pools,
+// driving sessions through wire-framed testbench command batches.
+//
+//	rteaal-serve -addr :8382
+//	rteaal-serve -addr :8382 -cache 32 -pool-cap 16 -session-ttl 10m
+//
+// Endpoints:
+//
+//	POST   /designs                  compile (or hit the cache); body {source, options}
+//	GET    /designs/{hash}           cached design description
+//	POST   /designs/{hash}/sessions  lease a session ({lanes: n} for a batch)
+//	POST   /sessions/{id}/commands   execute a batched command list
+//	GET    /sessions/{id}/log        recorded, replayable transaction log
+//	DELETE /sessions/{id}            release the session
+//	GET    /healthz                  liveness plus live design/session counts
+//	GET    /metrics                  JSON counters (cache, pools, work, latency)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rteaal/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8382", "listen address")
+	cache := flag.Int("cache", 16, "max cached compiled designs (LRU)")
+	poolCap := flag.Int("pool-cap", 8, "max pooled sessions per design")
+	perClient := flag.Int("per-client", 8, "max concurrent sessions per client")
+	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "evict sessions idle longer than this")
+	poolIdleTTL := flag.Duration("pool-idle-ttl", time.Minute, "close pooled sessions idle longer than this")
+	sweep := flag.Duration("sweep", 15*time.Second, "maintenance sweep interval")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CacheSize:            *cache,
+		PoolCap:              *poolCap,
+		MaxSessionsPerClient: *perClient,
+		SessionTTL:           *sessionTTL,
+		PoolIdleTTL:          *poolIdleTTL,
+	})
+
+	// Janitor: evict abandoned sessions and shrink idle pools.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		t := time.NewTicker(*sweep)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if leases, pooled := srv.Sweep(); leases > 0 || pooled > 0 {
+					fmt.Fprintf(os.Stderr, "rteaal-serve: swept %d idle sessions, %d pooled engines\n", leases, pooled)
+				}
+			}
+		}
+	}()
+
+	hs := &http.Server{Addr: *addr, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutCtx) //nolint:errcheck // exiting either way
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "rteaal-serve: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "rteaal-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"time"
+
+	"rteaal/internal/firrtl"
+	"rteaal/internal/gen"
+	"rteaal/internal/server"
+	"rteaal/sim"
+	"rteaal/sim/client"
+)
+
+// serveCycles is the simulated-cycle budget each batch-size point spends,
+// so every row of the experiment does the same simulation work and only
+// the round-trip count varies.
+const serveCycles = 2048
+
+// Serve measures the simulation-as-a-service wire path: a loopback HTTP
+// session server driven through sim/client at command-batch sizes 1, 16,
+// and 256 (one step-cycle per command). Small batches are dominated by
+// HTTP round-trips; large batches amortise the protocol the way the DMI
+// layer's multi-cycle commands intend. The in-process testbench rate on
+// the same design anchors the protocol overhead.
+func Serve(w io.Writer, c Config) error {
+	c = c.norm()
+	spec := gen.Spec{Family: gen.Rocket, Cores: 1, Scale: c.Scale}
+	g, _, err := Build(spec)
+	if err != nil {
+		return err
+	}
+	src, err := firrtl.Emit(g)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL, client.WithClientID("bench"))
+	ctx := context.Background()
+
+	compileStart := time.Now()
+	cr, err := cl.Compile(ctx, src, server.CompileOptions{})
+	if err != nil {
+		return err
+	}
+	compileTime := time.Since(compileStart)
+
+	fmt.Fprintln(w, "Serve: loopback HTTP session service (one step-cycle per command)")
+	fmt.Fprintf(w, "%-12s %8s %10s %12s %14s\n", "design", "batch", "requests", "req/s", "cycles/s")
+
+	for _, batch := range []int{1, 16, 256} {
+		sess, err := cl.NewSession(ctx, cr.Hash, 0)
+		if err != nil {
+			return err
+		}
+		script := client.NewScript()
+		for i := 0; i < batch; i++ {
+			script.Step(1)
+		}
+		requests := serveCycles / batch
+		start := time.Now()
+		for r := 0; r < requests; r++ {
+			if _, err := sess.Do(ctx, script); err != nil {
+				return err
+			}
+		}
+		el := time.Since(start)
+		if err := sess.Close(ctx); err != nil {
+			return err
+		}
+		rps := float64(requests) / el.Seconds()
+		cps := float64(requests*batch) / el.Seconds()
+		fmt.Fprintf(w, "%-12s %8d %10d %12.0f %14.0f\n", spec.Name(), batch, requests, rps, cps)
+		c.Rec.Add("serve", spec.Name(), fmt.Sprintf("http_requests_per_sec_b%d", batch), rps, "req/s")
+		c.Rec.Add("serve", spec.Name(), fmt.Sprintf("http_cycles_per_sec_b%d", batch), cps, "cycles/s")
+	}
+
+	// In-process anchor: the same design stepped directly through
+	// sim.Testbench, no wire in the path.
+	d, err := sim.CompileGraph(g)
+	if err != nil {
+		return err
+	}
+	s := d.NewSession()
+	tb := s.Testbench()
+	start := time.Now()
+	if err := tb.Run(serveCycles); err != nil {
+		return err
+	}
+	el := time.Since(start)
+	s.Close()
+	inproc := float64(serveCycles) / el.Seconds()
+	fmt.Fprintf(w, "%-12s %8s %10s %12s %14.0f  (in-process)\n", spec.Name(), "-", "-", "-", inproc)
+	c.Rec.Add("serve", spec.Name(), "inprocess_cycles_per_sec", inproc, "cycles/s")
+	c.Rec.Add("serve", spec.Name(), "compile_http_time", compileTime.Seconds(), "s")
+	return nil
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rteaal/internal/testbench"
+	"rteaal/sim"
+)
+
+// This file is the JSON surface of the session service: every request and
+// response body exchanged on the wire, shared by the HTTP handlers and the
+// Go client (sim/client). Command lists inside CommandsRequest use the
+// testbench wire framing (internal/testbench.Command), which carries its
+// own validator and fuzz target.
+
+// CompileOptions is the wire form of the sim compile options a client may
+// select. The zero value compiles with the package defaults (PSU kernel,
+// default passes, unpartitioned, one batch worker).
+type CompileOptions struct {
+	// Kernel names a kernel configuration ("RU".."TI"); empty = PSU.
+	Kernel string `json:"kernel,omitempty"`
+	// Partitions > 0 compiles for RepCut-partitioned sessions.
+	Partitions int `json:"partitions,omitempty"`
+	// Strategy selects the partition ownership assignment
+	// ("round-robin", "cone-cluster", "min-cut"); empty = min-cut.
+	Strategy string `json:"strategy,omitempty"`
+	// BatchWorkers > 0 shards batch lanes over persistent workers.
+	BatchWorkers int `json:"batch_workers,omitempty"`
+	// Waveform compiles waveform-safe (registers kept).
+	Waveform bool `json:"waveform,omitempty"`
+}
+
+// SimOptions resolves the wire options to sim compile options, rejecting
+// unknown names and out-of-range counts before any compilation work runs.
+func (o CompileOptions) SimOptions() ([]sim.Option, error) {
+	var opts []sim.Option
+	if o.Kernel != "" {
+		k, err := sim.ParseKernel(o.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, sim.WithKernel(k))
+	}
+	if o.Partitions != 0 {
+		if o.Partitions < 0 {
+			return nil, fmt.Errorf("server: partitions must be >= 1, got %d", o.Partitions)
+		}
+		opts = append(opts, sim.WithPartitions(o.Partitions))
+	}
+	if o.Strategy != "" {
+		s, err := sim.ParsePartitionStrategy(o.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, sim.WithPartitionStrategy(s))
+	}
+	if o.BatchWorkers != 0 {
+		if o.BatchWorkers < 0 {
+			return nil, fmt.Errorf("server: batch_workers must be >= 1, got %d", o.BatchWorkers)
+		}
+		opts = append(opts, sim.WithBatchWorkers(o.BatchWorkers))
+	}
+	if o.Waveform {
+		opts = append(opts, sim.WithWaveform())
+	}
+	return opts, nil
+}
+
+// CompileRequest is the body of POST /designs.
+type CompileRequest struct {
+	// Source is the FIRRTL source text to compile.
+	Source string `json:"source"`
+	// Options select the compile configuration; part of the cache key.
+	Options CompileOptions `json:"options,omitempty"`
+}
+
+// DesignInfo describes one cached compiled design.
+type DesignInfo struct {
+	// Hash is the design's cache identity: sim.SourceHash over the
+	// normalized source and resolved options.
+	Hash string `json:"hash"`
+	// Design is the circuit name.
+	Design string `json:"design"`
+	// Compile-time figures (sim.Stats).
+	Ops       int `json:"ops"`
+	Layers    int `json:"layers"`
+	Registers int `json:"registers"`
+	// Port and signal names clients can bind.
+	Inputs  []string `json:"inputs"`
+	Outputs []string `json:"outputs"`
+	Signals []string `json:"signals"`
+}
+
+// CompileResponse is the body answering POST /designs (201 on a fresh
+// compile, 200 when served from cache) and GET /designs/{hash}.
+type CompileResponse struct {
+	DesignInfo
+	// Cached is true when the design was already in the cross-user cache
+	// (or another client's in-flight compile was joined).
+	Cached bool `json:"cached"`
+}
+
+// CreateSessionRequest is the body of POST /designs/{hash}/sessions. An
+// empty body is a plain single-lane session.
+type CreateSessionRequest struct {
+	// Lanes > 0 serves the session from a multi-lane batch instead of a
+	// pooled scalar session; commands then address lanes individually.
+	Lanes int `json:"lanes,omitempty"`
+}
+
+// SessionResponse describes one live session lease.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+	Hash      string `json:"hash"`
+	// Lanes is the number of drivable lanes (1 for pooled sessions).
+	Lanes int `json:"lanes"`
+}
+
+// CommandsRequest is the body of POST /sessions/{id}/commands: a batched
+// list of wire commands executed in order on the session, many cycles per
+// round-trip.
+type CommandsRequest struct {
+	Commands json.RawMessage `json:"commands"`
+}
+
+// CommandsResponse answers a command batch. When execution stops early
+// (unknown signal, wait timeout, budget exceeded) Outcomes holds the
+// completed prefix and Error the failure; the session stays usable.
+type CommandsResponse struct {
+	Outcomes []testbench.Outcome `json:"outcomes"`
+	// Cycle is the session's completed-cycle count after the batch.
+	Cycle int64  `json:"cycle"`
+	Error string `json:"error,omitempty"`
+}
+
+// LogEntry is one recorded command of a session's transaction log,
+// stamped with the cycle at which it started executing. Replaying the
+// Command list of a log against a fresh session of the same design
+// reproduces the trace.
+type LogEntry struct {
+	Cycle   int64             `json:"cycle"`
+	Command testbench.Command `json:"command"`
+	Outcome testbench.Outcome `json:"outcome"`
+}
+
+// LogResponse answers GET /sessions/{id}/log.
+type LogResponse struct {
+	SessionID string `json:"session_id"`
+	// Dropped counts oldest entries discarded once the per-session log
+	// bound was reached; the log is exact when it is 0.
+	Dropped int64      `json:"dropped,omitempty"`
+	Entries []LogEntry `json:"entries"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Designs  int    `json:"designs"`
+	Sessions int    `json:"sessions"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"rteaal/sim"
+)
+
+// designCache is the cross-user compiled-design cache: *sim.Design values
+// keyed by sim.SourceHash, bounded by an LRU, with single-flight
+// deduplication so N clients posting the same source concurrently pay for
+// exactly one compile. Each entry owns the elastic session pool serving
+// that design; evicting an entry closes its pool (idle sessions drain,
+// checked-out sessions retire on Put).
+type designCache struct {
+	mu       sync.Mutex
+	max      int
+	poolCap  int
+	now      func() time.Time
+	entries  map[string]*cacheEntry
+	lru      *list.List // of *cacheEntry; front = most recently used
+	inflight map[string]*compileCall
+
+	hits, misses, evictions, dedups uint64
+}
+
+// cacheEntry is one cached design plus its serving pool.
+type cacheEntry struct {
+	hash   string
+	design *sim.Design
+	info   DesignInfo
+	pool   *sim.Pool
+	elem   *list.Element
+}
+
+// compileCall is one in-flight compile other callers join.
+type compileCall struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
+}
+
+func newDesignCache(maxEntries, poolCap int, now func() time.Time) *designCache {
+	return &designCache{
+		max:      maxEntries,
+		poolCap:  poolCap,
+		now:      now,
+		entries:  make(map[string]*cacheEntry),
+		lru:      list.New(),
+		inflight: make(map[string]*compileCall),
+	}
+}
+
+// lookup returns the cached entry for hash, counting a hit and refreshing
+// its LRU position, or (nil, false) without counting a miss — lookup
+// misses are "unknown design" errors, not compile demand.
+func (c *designCache) lookup(hash string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return e, true
+}
+
+// getOrCompile returns the entry for hash, compiling it with compile at
+// most once across all concurrent callers. cached reports whether the
+// caller was served without running its own compile (an existing entry or
+// a joined in-flight one).
+func (c *designCache) getOrCompile(hash string, compile func() (*sim.Design, error)) (e *cacheEntry, cached bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[hash]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		return e, true, nil
+	}
+	if call, ok := c.inflight[hash]; ok {
+		// Another client is compiling this very design: join it.
+		c.dedups++
+		c.mu.Unlock()
+		<-call.done
+		return call.entry, true, call.err
+	}
+	c.misses++
+	call := &compileCall{done: make(chan struct{})}
+	c.inflight[hash] = call
+	c.mu.Unlock()
+
+	d, err := compile()
+
+	c.mu.Lock()
+	delete(c.inflight, hash)
+	var evict []*cacheEntry
+	if err == nil {
+		call.entry, err = c.insertLocked(hash, d)
+		if err == nil {
+			evict = c.evictOverflowLocked()
+		}
+	}
+	call.err = err
+	c.mu.Unlock()
+	close(call.done)
+	// Pool teardown can join partition workers; never do it under the lock.
+	for _, old := range evict {
+		old.pool.Close()
+	}
+	return call.entry, false, err
+}
+
+func (c *designCache) insertLocked(hash string, d *sim.Design) (*cacheEntry, error) {
+	pool, err := sim.NewPool(d, c.poolCap)
+	if err != nil {
+		return nil, err
+	}
+	pool.SetClock(c.now)
+	st := d.Stats()
+	e := &cacheEntry{
+		hash:   hash,
+		design: d,
+		pool:   pool,
+		info: DesignInfo{
+			Hash:      hash,
+			Design:    st.Design,
+			Ops:       st.Ops,
+			Layers:    st.Layers,
+			Registers: st.Registers,
+			Inputs:    d.Inputs(),
+			Outputs:   d.Outputs(),
+			Signals:   d.Signals(),
+		},
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[hash] = e
+	return e, nil
+}
+
+// evictOverflowLocked pops least-recently-used entries past the bound and
+// returns them for teardown outside the lock.
+func (c *designCache) evictOverflowLocked() []*cacheEntry {
+	var evict []*cacheEntry
+	for len(c.entries) > c.max {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*cacheEntry)
+		c.lru.Remove(oldest)
+		delete(c.entries, e.hash)
+		c.evictions++
+		evict = append(evict, e)
+	}
+	return evict
+}
+
+// reapIdle shrinks every design's pool: sessions idle past ttl close and
+// return their creation budget. Reports total sessions reaped.
+func (c *designCache) reapIdle(ttl time.Duration) int {
+	c.mu.Lock()
+	pools := make([]*sim.Pool, 0, len(c.entries))
+	for _, e := range c.entries {
+		pools = append(pools, e.pool)
+	}
+	c.mu.Unlock()
+	total := 0
+	for _, p := range pools {
+		total += p.ReapIdle(ttl)
+	}
+	return total
+}
+
+// stats snapshots the cache counters plus every entry's pool occupancy.
+func (c *designCache) stats() (CacheMetrics, map[string]PoolMetrics) {
+	c.mu.Lock()
+	cm := CacheMetrics{
+		Entries:         len(c.entries),
+		Max:             c.max,
+		Hits:            c.hits,
+		Misses:          c.misses,
+		Evictions:       c.evictions,
+		InflightDeduped: c.dedups,
+	}
+	pools := make(map[string]*sim.Pool, len(c.entries))
+	for h, e := range c.entries {
+		pools[h] = e.pool
+	}
+	c.mu.Unlock()
+	pm := make(map[string]PoolMetrics, len(pools))
+	for h, p := range pools {
+		st := p.Stats()
+		pm[h] = PoolMetrics{
+			Cap:        st.Cap,
+			Idle:       st.Idle,
+			CheckedOut: st.CheckedOut,
+			Live:       st.Live,
+			HighWater:  st.HighWater,
+			Checkouts:  st.Checkouts,
+			Reaped:     st.Reaped,
+		}
+	}
+	return cm, pm
+}
+
+// close tears the whole cache down: every pool closes, every entry drops.
+func (c *designCache) close() {
+	c.mu.Lock()
+	entries := make([]*cacheEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	c.entries = make(map[string]*cacheEntry)
+	c.lru.Init()
+	c.mu.Unlock()
+	for _, e := range entries {
+		e.pool.Close()
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+
+	"rteaal/internal/testbench"
+	"rteaal/sim"
+)
+
+// runCommands executes a validated wire command batch in order against a
+// session's testbench, returning one Outcome per completed command and the
+// total cycles the batch consumed. Execution stops at the first failing
+// command (unknown signal, wait timeout, bad lane); the completed prefix
+// and its outcomes are still returned — the engine state they produced is
+// real, so the client sees exactly how far the batch got.
+//
+// maxCyclesPerCommand is the server's cycle-budget policy: step counts and
+// transact/handshake budgets beyond it are rejected rather than clamped,
+// so a client is told about the policy instead of silently getting a
+// shorter wait.
+func runCommands(tb *sim.Testbench, cmds []testbench.Command, maxCyclesPerCommand int64) ([]testbench.Outcome, int64, error) {
+	outcomes := make([]testbench.Outcome, 0, len(cmds))
+	start := tb.Cycle()
+	for i := range cmds {
+		c := &cmds[i]
+		out := testbench.Outcome{Op: c.Op, Lane: c.Lane, Signal: c.Signal}
+		before := tb.Cycle()
+		var err error
+		switch c.Op {
+		case testbench.OpPoke:
+			var p *sim.Port
+			if p, err = tb.PortLane(c.Signal, c.Lane); err == nil {
+				p.Poke(c.Value)
+				out.Value = c.Value
+			}
+		case testbench.OpPeek:
+			var p *sim.Port
+			if p, err = tb.PortLane(c.Signal, c.Lane); err == nil {
+				out.Value = p.Peek()
+			}
+		case testbench.OpStep:
+			if c.Cycles > maxCyclesPerCommand {
+				err = fmt.Errorf("step of %d cycles exceeds the per-command budget of %d", c.Cycles, maxCyclesPerCommand)
+			} else {
+				err = tb.Run(c.Cycles)
+			}
+		case testbench.OpTransact:
+			out.Signal = c.Resp
+			if int64(c.MaxCycles) > maxCyclesPerCommand {
+				err = fmt.Errorf("transact budget of %d cycles exceeds the per-command budget of %d", c.MaxCycles, maxCyclesPerCommand)
+			} else {
+				out.Value, err = tb.TransactLane(c.Lane, c.Pokes, c.Resp, c.Until.Pred(), c.MaxCycles)
+			}
+		case testbench.OpHandshake:
+			out.Signal = c.Valid
+			if int64(c.MaxCycles) > maxCyclesPerCommand {
+				err = fmt.Errorf("handshake budget of %d cycles exceeds the per-command budget of %d", c.MaxCycles, maxCyclesPerCommand)
+			} else {
+				var waited int
+				waited, err = tb.HandshakeLane(c.Lane, c.Valid, c.Pokes, c.Ready, c.MaxCycles)
+				out.Value = uint64(waited)
+			}
+		default:
+			// DecodeCommands validated the op; this is a programming error.
+			err = fmt.Errorf("unexecutable op %q", c.Op)
+		}
+		out.Cycles = tb.Cycle() - before
+		if err != nil {
+			return outcomes, tb.Cycle() - start, fmt.Errorf("command %d (%s): %w", i, c.Op, err)
+		}
+		outcomes = append(outcomes, out)
+	}
+	return outcomes, tb.Cycle() - start, nil
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// MetricsResponse answers GET /metrics: a JSON snapshot of every counter
+// the service keeps — cache effectiveness, session churn, simulated work,
+// per-design pool occupancy, and per-endpoint latency.
+type MetricsResponse struct {
+	Cache     CacheMetrics               `json:"cache"`
+	Sessions  SessionMetrics             `json:"sessions"`
+	Work      WorkMetrics                `json:"work"`
+	Pools     map[string]PoolMetrics     `json:"pools"`
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// CacheMetrics reports the cross-user design cache.
+type CacheMetrics struct {
+	Entries int `json:"entries"`
+	Max     int `json:"max"`
+	// Hits counts requests served from an existing entry; Misses counts
+	// compiles actually run; InflightDeduped counts callers who joined
+	// another client's in-flight compile instead of running their own.
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Evictions       uint64 `json:"evictions"`
+	InflightDeduped uint64 `json:"inflight_deduped"`
+}
+
+// PoolMetrics reports one design's elastic session pool.
+type PoolMetrics struct {
+	Cap        int    `json:"cap"`
+	Idle       int    `json:"idle"`
+	CheckedOut int    `json:"checked_out"`
+	Live       int    `json:"live"`
+	HighWater  int    `json:"high_water"`
+	Checkouts  uint64 `json:"checkouts"`
+	Reaped     uint64 `json:"reaped"`
+}
+
+// SessionMetrics reports lease churn across all designs.
+type SessionMetrics struct {
+	Live    int `json:"live"`
+	Clients int `json:"clients"`
+	// Created counts leases ever granted; Released counts explicit
+	// DELETEs; Evicted counts idle-TTL reaps.
+	Created  uint64 `json:"created"`
+	Released uint64 `json:"released"`
+	Evicted  uint64 `json:"evicted"`
+}
+
+// WorkMetrics reports the simulation work the service has executed.
+type WorkMetrics struct {
+	CyclesSimulated  uint64 `json:"cycles_simulated"`
+	CommandsExecuted uint64 `json:"commands_executed"`
+}
+
+// EndpointMetrics reports one route's request latency.
+type EndpointMetrics struct {
+	Requests    uint64 `json:"requests"`
+	Errors      uint64 `json:"errors"`
+	TotalMicros int64  `json:"total_micros"`
+	MaxMicros   int64  `json:"max_micros"`
+}
+
+// metrics is the service-wide counter set for work and latency; the cache
+// and the session registry keep their own counters and are merged into the
+// snapshot by the /metrics handler.
+type metrics struct {
+	mu               sync.Mutex
+	endpoints        map[string]*EndpointMetrics
+	cyclesSimulated  uint64
+	commandsExecuted uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*EndpointMetrics)}
+}
+
+// observe records one request against its route pattern.
+func (m *metrics) observe(endpoint string, dur time.Duration, isErr bool) {
+	micros := dur.Microseconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[endpoint]
+	if e == nil {
+		e = &EndpointMetrics{}
+		m.endpoints[endpoint] = e
+	}
+	e.Requests++
+	if isErr {
+		e.Errors++
+	}
+	e.TotalMicros += micros
+	if micros > e.MaxMicros {
+		e.MaxMicros = micros
+	}
+}
+
+// addWork accounts a command batch's simulated cycles and command count.
+func (m *metrics) addWork(cycles int64, commands int) {
+	m.mu.Lock()
+	m.cyclesSimulated += uint64(cycles)
+	m.commandsExecuted += uint64(commands)
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() (WorkMetrics, map[string]EndpointMetrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	eps := make(map[string]EndpointMetrics, len(m.endpoints))
+	for k, v := range m.endpoints {
+		eps[k] = *v
+	}
+	return WorkMetrics{CyclesSimulated: m.cyclesSimulated, CommandsExecuted: m.commandsExecuted}, eps
+}

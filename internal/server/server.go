@@ -1,0 +1,392 @@
+// Package server is the simulation-as-a-service layer: an HTTP/JSON
+// session service over the public sim API. Designs compile once into a
+// cross-user cache keyed by [sim.SourceHash]; sessions are leased from
+// each design's elastic [sim.Pool] (grown on demand, reaped after idle
+// TTL, bounded per client with 429 backpressure); and the Testbench DMI
+// protocol of §6.2 is framed over the wire as batched multi-cycle command
+// lists so one round-trip amortises over hundreds of simulated cycles.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rteaal/internal/testbench"
+	"rteaal/sim"
+)
+
+// Config bounds the service. The zero value takes every default.
+type Config struct {
+	// CacheSize bounds the compiled-design LRU (default 16 designs).
+	CacheSize int
+	// PoolCap bounds each design's session pool (default 8 sessions).
+	PoolCap int
+	// SessionTTL evicts leases idle longer than this on Sweep
+	// (default 5m).
+	SessionTTL time.Duration
+	// PoolIdleTTL closes pooled sessions idle longer than this on Sweep,
+	// returning their creation budget (default 1m).
+	PoolIdleTTL time.Duration
+	// MaxSessionsPerClient bounds concurrent leases per client identity
+	// (default 8).
+	MaxSessionsPerClient int
+	// MaxLanes bounds the lane count of batch sessions (default 256).
+	MaxLanes int
+	// MaxCommandsPerRequest bounds one command batch (default 4096).
+	MaxCommandsPerRequest int
+	// MaxCyclesPerCommand bounds one command's cycle budget
+	// (default 1e6).
+	MaxCyclesPerCommand int64
+	// MaxSourceBytes bounds POST /designs bodies (default 8 MiB).
+	MaxSourceBytes int64
+	// MaxLogEntries bounds each session's recorded transaction log;
+	// oldest entries drop first (default 4096).
+	MaxLogEntries int
+	// Clock overrides time.Now for session and pool TTLs (tests).
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	if c.PoolCap <= 0 {
+		c.PoolCap = 8
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.PoolIdleTTL <= 0 {
+		c.PoolIdleTTL = time.Minute
+	}
+	if c.MaxSessionsPerClient <= 0 {
+		c.MaxSessionsPerClient = 8
+	}
+	if c.MaxLanes <= 0 {
+		c.MaxLanes = 256
+	}
+	if c.MaxCommandsPerRequest <= 0 {
+		c.MaxCommandsPerRequest = 4096
+	}
+	if c.MaxCyclesPerCommand <= 0 {
+		c.MaxCyclesPerCommand = 1_000_000
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 8 << 20
+	}
+	if c.MaxLogEntries <= 0 {
+		c.MaxLogEntries = 4096
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Server is the session service. It is an http.Handler; mount it directly
+// or behind a mux prefix.
+type Server struct {
+	cfg      Config
+	cache    *designCache
+	sessions *sessionRegistry
+	metrics  *metrics
+	mux      *http.ServeMux
+}
+
+// New builds a Server from cfg (zero value for defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newDesignCache(cfg.CacheSize, cfg.PoolCap, cfg.Clock),
+		sessions: newSessionRegistry(cfg.MaxSessionsPerClient, cfg.MaxLanes, cfg.SessionTTL, cfg.Clock),
+		metrics:  newMetrics(),
+		mux:      http.NewServeMux(),
+	}
+	s.route("POST /designs", s.handleCompile)
+	s.route("GET /designs/{hash}", s.handleDesignInfo)
+	s.route("POST /designs/{hash}/sessions", s.handleCreateSession)
+	s.route("POST /sessions/{id}/commands", s.handleCommands)
+	s.route("GET /sessions/{id}/log", s.handleLog)
+	s.route("DELETE /sessions/{id}", s.handleRelease)
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// route registers a handler wrapped with per-endpoint latency accounting
+// under the route's pattern.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		s.metrics.observe(pattern, time.Since(start), sw.status >= 400)
+	})
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Sweep runs one maintenance pass: evict leases idle past SessionTTL and
+// shrink design pools past PoolIdleTTL. Call it periodically (see
+// cmd/rteaal-serve) or directly in tests with a fake Clock. It reports
+// evicted leases and reaped pool sessions.
+func (s *Server) Sweep() (leases, poolSessions int) {
+	leases = s.sessions.reapExpired()
+	poolSessions = s.cache.reapIdle(s.cfg.PoolIdleTTL)
+	return leases, poolSessions
+}
+
+// Close releases every lease and tears down every cached design's pool.
+func (s *Server) Close() {
+	s.sessions.closeAll()
+	s.cache.close()
+}
+
+// clientID identifies the requesting client for per-client session
+// limits: the X-Client header when present, else the remote host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decodeBody strictly decodes a JSON request body into v. An empty body
+// leaves v at its zero value.
+func decodeBody(r *http.Request, limit int64, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return fmt.Errorf("server: reading body: %w", err)
+	}
+	if int64(len(body)) > limit {
+		return fmt.Errorf("server: body exceeds the %d-byte limit", limit)
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: decoding body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("server: trailing data after body")
+	}
+	return nil
+}
+
+// handleCompile serves POST /designs: hash the normalized source plus
+// options, compile at most once across all clients, answer 201 for a
+// fresh compile and 200 from cache.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := decodeBody(r, s.cfg.MaxSourceBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, errors.New("server: source is required"))
+		return
+	}
+	opts, err := req.Options.SimOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hash := sim.SourceHash(req.Source, opts...)
+	entry, cached, err := s.cache.getOrCompile(hash, func() (*sim.Design, error) {
+		return sim.Compile(req.Source, opts...)
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	status := http.StatusCreated
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, CompileResponse{DesignInfo: entry.info, Cached: cached})
+}
+
+// handleDesignInfo serves GET /designs/{hash}.
+func (s *Server) handleDesignInfo(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.cache.lookup(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown design"))
+		return
+	}
+	writeJSON(w, http.StatusOK, CompileResponse{DesignInfo: entry.info, Cached: true})
+}
+
+// handleCreateSession serves POST /designs/{hash}/sessions: lease a
+// pooled session (or a dedicated multi-lane batch) of a cached design.
+// Saturation answers 429 with Retry-After, pointing clients at the idle
+// TTL after which capacity returns.
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.cache.lookup(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown design"))
+		return
+	}
+	var req CreateSessionRequest
+	if err := decodeBody(r, 1<<16, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	l, err := s.sessions.create(entry, clientID(r), req.Lanes)
+	switch {
+	case err == nil:
+	case errors.Is(err, errClientLimit), errors.Is(err, sim.ErrPoolExhausted):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.PoolIdleTTL/time.Second)+1))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, sim.ErrPoolClosed):
+		writeError(w, http.StatusConflict, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SessionResponse{SessionID: l.id, Hash: entry.hash, Lanes: l.tb.Lanes()})
+}
+
+// handleCommands serves POST /sessions/{id}/commands: decode a batched
+// wire command list, execute it in order on the lease's testbench, record
+// the transaction log, and answer the outcomes. A failing command answers
+// 422 with the completed prefix; the session stays usable.
+func (s *Server) handleCommands(w http.ResponseWriter, r *http.Request) {
+	l, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown session"))
+		return
+	}
+	var req CommandsRequest
+	if err := decodeBody(r, s.cfg.MaxSourceBytes, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cmds, err := testbench.DecodeCommands(req.Commands, s.cfg.MaxCommandsPerRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	l.mu.Lock()
+	if l.gone {
+		l.mu.Unlock()
+		writeError(w, http.StatusGone, errLeaseGone)
+		return
+	}
+	outcomes, cycles, execErr := runCommands(l.tb, cmds, s.cfg.MaxCyclesPerCommand)
+	// Record the completed prefix: each entry stamped with the cycle at
+	// which its command started, so a log replay reproduces the trace.
+	at := l.tb.Cycle() - cycles
+	for i, out := range outcomes {
+		l.log = append(l.log, LogEntry{Cycle: at, Command: cmds[i], Outcome: out})
+		at += out.Cycles
+	}
+	if excess := len(l.log) - s.cfg.MaxLogEntries; excess > 0 {
+		l.dropped += int64(excess)
+		l.log = append(l.log[:0:0], l.log[excess:]...)
+	}
+	cycle := l.tb.Cycle()
+	l.mu.Unlock()
+
+	s.metrics.addWork(cycles, len(outcomes))
+	resp := CommandsResponse{Outcomes: outcomes, Cycle: cycle}
+	if execErr != nil {
+		resp.Error = execErr.Error()
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLog serves GET /sessions/{id}/log: the recorded, replayable
+// transaction log.
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	l, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown session"))
+		return
+	}
+	l.mu.Lock()
+	entries := make([]LogEntry, len(l.log))
+	copy(entries, l.log)
+	dropped := l.dropped
+	l.mu.Unlock()
+	writeJSON(w, http.StatusOK, LogResponse{SessionID: l.id, Dropped: dropped, Entries: entries})
+}
+
+// handleRelease serves DELETE /sessions/{id}.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.release(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown session"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHealth serves GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	cm, _ := s.cache.stats()
+	sm := s.sessions.stats()
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Designs: cm.Entries, Sessions: sm.Live})
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cm, pools := s.cache.stats()
+	work, eps := s.metrics.snapshot()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Cache:     cm,
+		Sessions:  s.sessions.stats(),
+		Work:      work,
+		Pools:     pools,
+		Endpoints: eps,
+	})
+}

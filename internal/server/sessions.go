@@ -1,0 +1,225 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rteaal/sim"
+)
+
+// errClientLimit is the per-client elasticity bound: one tenant cannot
+// hoard every session of a shared design. Mapped to 429 on the wire.
+var errClientLimit = errors.New("server: per-client session limit reached")
+
+// errLeaseGone marks a lease released or evicted while a request was in
+// flight. Mapped to 410 on the wire.
+var errLeaseGone = errors.New("server: session released")
+
+// lease is one live remote session: a checked-out pooled session (or a
+// dedicated multi-lane batch), its testbench, and the recorded transaction
+// log. Command execution serialises on mu — the wire protocol promises
+// in-order execution per session, never concurrent access to one engine.
+type lease struct {
+	id     string
+	client string
+	entry  *cacheEntry
+	tb     *sim.Testbench
+	sess   *sim.Session // pooled scalar/partitioned session; nil for batches
+	batch  *sim.Batch   // multi-lane batch; nil for pooled sessions
+
+	mu      sync.Mutex // serialises execution and release
+	gone    bool       // released or evicted; engine no longer owned
+	log     []LogEntry
+	dropped int64
+}
+
+// release returns the lease's engine: pooled sessions go back to the pool
+// (which retires them if it has closed), batches close their workers.
+// Idempotent under l.mu.
+func (l *lease) release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.gone {
+		return
+	}
+	l.gone = true
+	if l.sess != nil {
+		l.entry.pool.Put(l.sess)
+	}
+	if l.batch != nil {
+		l.batch.Close()
+	}
+}
+
+// sessionRegistry owns every live lease: creation against the per-client
+// bound and the design's pool, lookup, touch-on-use, TTL-based eviction of
+// abandoned leases, and release. The registry clock is injectable so tests
+// drive eviction with a fake clock.
+type sessionRegistry struct {
+	maxPerClient int
+	maxLanes     int
+	ttl          time.Duration
+	now          func() time.Time
+
+	mu       sync.Mutex
+	leases   map[string]*lease
+	lastUsed map[string]time.Time
+	byClient map[string]int
+	nextID   uint64
+
+	created, released, evicted uint64
+}
+
+func newSessionRegistry(maxPerClient, maxLanes int, ttl time.Duration, now func() time.Time) *sessionRegistry {
+	return &sessionRegistry{
+		maxPerClient: maxPerClient,
+		maxLanes:     maxLanes,
+		ttl:          ttl,
+		now:          now,
+		leases:       make(map[string]*lease),
+		lastUsed:     make(map[string]time.Time),
+		byClient:     make(map[string]int),
+	}
+}
+
+// create leases a new session of entry's design for client. lanes == 0
+// checks a scalar session out of the design's elastic pool (non-blocking:
+// saturation surfaces as sim.ErrPoolExhausted for the 429 path); lanes > 0
+// mints a dedicated multi-lane batch.
+func (r *sessionRegistry) create(entry *cacheEntry, client string, lanes int) (*lease, error) {
+	if lanes < 0 || lanes > r.maxLanes {
+		return nil, fmt.Errorf("server: lanes must be in [0,%d], got %d", r.maxLanes, lanes)
+	}
+	r.mu.Lock()
+	if r.byClient[client] >= r.maxPerClient {
+		r.mu.Unlock()
+		return nil, errClientLimit
+	}
+	r.byClient[client]++ // reserve the slot before the pool work
+	r.mu.Unlock()
+
+	l := &lease{client: client, entry: entry}
+	var err error
+	if lanes > 0 {
+		l.batch, err = entry.design.NewBatch(lanes)
+		if err == nil {
+			l.tb = l.batch.Testbench()
+		}
+	} else {
+		l.sess, err = entry.pool.TryGet()
+		if err == nil {
+			l.tb = l.sess.Testbench()
+		}
+	}
+	if err != nil {
+		r.mu.Lock()
+		r.byClient[client]--
+		if r.byClient[client] == 0 {
+			delete(r.byClient, client)
+		}
+		r.mu.Unlock()
+		return nil, err
+	}
+
+	r.mu.Lock()
+	r.nextID++
+	l.id = fmt.Sprintf("s-%08x", r.nextID)
+	r.leases[l.id] = l
+	r.lastUsed[l.id] = r.now()
+	r.created++
+	r.mu.Unlock()
+	return l, nil
+}
+
+// get returns a live lease and refreshes its idle deadline.
+func (r *sessionRegistry) get(id string) (*lease, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.leases[id]
+	if ok {
+		r.lastUsed[id] = r.now()
+	}
+	return l, ok
+}
+
+// removeLocked unlinks a lease from the maps (not the engine).
+func (r *sessionRegistry) removeLocked(l *lease) {
+	delete(r.leases, l.id)
+	delete(r.lastUsed, l.id)
+	r.byClient[l.client]--
+	if r.byClient[l.client] == 0 {
+		delete(r.byClient, l.client)
+	}
+}
+
+// release ends a lease explicitly (DELETE /sessions/{id}).
+func (r *sessionRegistry) release(id string) bool {
+	r.mu.Lock()
+	l, ok := r.leases[id]
+	if ok {
+		r.removeLocked(l)
+		r.released++
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	l.release()
+	return true
+}
+
+// reapExpired evicts every lease idle past the TTL, returning engines to
+// their pools. This is what makes the serving layer elastic against
+// clients that vanish without a DELETE.
+func (r *sessionRegistry) reapExpired() int {
+	cutoff := r.now().Add(-r.ttl)
+	r.mu.Lock()
+	var expired []*lease
+	for id, l := range r.leases {
+		if !r.lastUsed[id].After(cutoff) {
+			expired = append(expired, l)
+		}
+	}
+	for _, l := range expired {
+		r.removeLocked(l)
+		r.evicted++
+	}
+	r.mu.Unlock()
+	// Engine teardown outside the registry lock: release waits on each
+	// lease's own mu, so an in-flight command batch finishes first.
+	for _, l := range expired {
+		l.release()
+	}
+	return len(expired)
+}
+
+// closeAll releases every lease (server shutdown).
+func (r *sessionRegistry) closeAll() {
+	r.mu.Lock()
+	all := make([]*lease, 0, len(r.leases))
+	for _, l := range r.leases {
+		all = append(all, l)
+	}
+	r.leases = make(map[string]*lease)
+	r.lastUsed = make(map[string]time.Time)
+	r.byClient = make(map[string]int)
+	r.mu.Unlock()
+	for _, l := range all {
+		l.release()
+	}
+}
+
+// stats snapshots the session counters.
+func (r *sessionRegistry) stats() SessionMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return SessionMetrics{
+		Live:     len(r.leases),
+		Clients:  len(r.byClient),
+		Created:  r.created,
+		Released: r.released,
+		Evicted:  r.evicted,
+	}
+}

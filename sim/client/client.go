@@ -1,0 +1,264 @@
+// Package client is the Go client of the rteaal session service
+// (internal/server, cmd/rteaal-serve): compile designs into the server's
+// cross-user cache, lease sessions, and drive them with batched testbench
+// command scripts — the same poke/peek/step/transact/handshake vocabulary
+// [sim.Testbench] offers in-process, framed over HTTP so many simulated
+// cycles ride on one round-trip.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"rteaal/internal/server"
+	"rteaal/internal/testbench"
+)
+
+// Client talks to one rteaal-serve endpoint.
+type Client struct {
+	base string
+	http *http.Client
+	id   string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default http.DefaultClient).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithClientID sets the X-Client identity the server uses for per-client
+// session limits (default: the connection's remote host).
+func WithClientID(id string) Option { return func(c *Client) { c.id = id } }
+
+// New builds a client for the service at base, e.g. "http://localhost:8382".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL reports the endpoint the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// APIError is a non-2xx answer from the service.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server answered %d: %s", e.Status, e.Message)
+}
+
+// do runs one JSON round-trip. A nil out discards the body; a non-2xx
+// status decodes the error envelope into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.id != "" {
+		req.Header.Set("X-Client", c.id)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr server.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &apiErr) != nil || apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(data))
+		}
+		// A failed command batch still carries the completed prefix;
+		// surface it through out alongside the error.
+		if out != nil {
+			json.Unmarshal(data, out) //nolint:errcheck // best-effort partial body
+		}
+		return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Compile posts FIRRTL source (plus compile options) and returns the
+// design's cache entry. Posting a design the server already holds is
+// answered from the cross-user cache without recompiling.
+func (c *Client) Compile(ctx context.Context, source string, opts server.CompileOptions) (*server.CompileResponse, error) {
+	var resp server.CompileResponse
+	err := c.do(ctx, http.MethodPost, "/designs", server.CompileRequest{Source: source, Options: opts}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Design fetches a cached design's description by hash.
+func (c *Client) Design(ctx context.Context, hash string) (*server.CompileResponse, error) {
+	var resp server.CompileResponse
+	if err := c.do(ctx, http.MethodGet, "/designs/"+hash, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
+	var resp server.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (*server.MetricsResponse, error) {
+	var resp server.MetricsResponse
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// NewSession leases a session of a cached design. lanes == 0 is a plain
+// pooled session; lanes > 0 a dedicated multi-lane batch. Saturation
+// surfaces as an *APIError with Status 429.
+func (c *Client) NewSession(ctx context.Context, hash string, lanes int) (*Session, error) {
+	var resp server.SessionResponse
+	var in any
+	if lanes != 0 {
+		// Out-of-range values travel to the server for rejection rather
+		// than being silently normalized here.
+		in = server.CreateSessionRequest{Lanes: lanes}
+	}
+	if err := c.do(ctx, http.MethodPost, "/designs/"+hash+"/sessions", in, &resp); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: resp.SessionID, Hash: resp.Hash, Lanes: resp.Lanes}, nil
+}
+
+// Session is one leased remote session.
+type Session struct {
+	c     *Client
+	ID    string
+	Hash  string
+	Lanes int
+}
+
+// Do executes a batched command script on the session, in order, and
+// returns the outcomes. On an execution failure the returned response
+// still holds the completed prefix next to the *APIError.
+func (s *Session) Do(ctx context.Context, script *Script) (*server.CommandsResponse, error) {
+	data, err := testbench.EncodeCommands(script.cmds)
+	if err != nil {
+		return nil, err
+	}
+	var resp server.CommandsResponse
+	err = s.c.do(ctx, http.MethodPost, "/sessions/"+s.ID+"/commands",
+		server.CommandsRequest{Commands: data}, &resp)
+	if err != nil {
+		return &resp, err
+	}
+	return &resp, nil
+}
+
+// Log fetches the session's recorded, replayable transaction log.
+func (s *Session) Log(ctx context.Context) (*server.LogResponse, error) {
+	var resp server.LogResponse
+	if err := s.c.do(ctx, http.MethodGet, "/sessions/"+s.ID+"/log", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Close releases the session back to the server's pool.
+func (s *Session) Close(ctx context.Context) error {
+	return s.c.do(ctx, http.MethodDelete, "/sessions/"+s.ID, nil, nil)
+}
+
+// Script accumulates a batched command list. Methods append one command
+// each and return the script for chaining:
+//
+//	resp, err := sess.Do(ctx, client.NewScript().
+//		Poke("step", 3).
+//		Step(16).
+//		Peek("count"))
+type Script struct {
+	cmds []testbench.Command
+}
+
+// NewScript starts an empty command script.
+func NewScript() *Script { return &Script{} }
+
+// Len reports the number of accumulated commands.
+func (b *Script) Len() int { return len(b.cmds) }
+
+// Commands exposes the accumulated wire commands.
+func (b *Script) Commands() []testbench.Command { return b.cmds }
+
+// Add appends a raw wire command.
+func (b *Script) Add(cmd testbench.Command) *Script {
+	b.cmds = append(b.cmds, cmd)
+	return b
+}
+
+// Poke drives a named input on lane 0.
+func (b *Script) Poke(signal string, value uint64) *Script {
+	return b.Add(testbench.Command{Op: testbench.OpPoke, Signal: signal, Value: value})
+}
+
+// PokeLane drives a named input on a batch lane.
+func (b *Script) PokeLane(lane int, signal string, value uint64) *Script {
+	return b.Add(testbench.Command{Op: testbench.OpPoke, Lane: lane, Signal: signal, Value: value})
+}
+
+// Peek samples a named signal on lane 0.
+func (b *Script) Peek(signal string) *Script {
+	return b.Add(testbench.Command{Op: testbench.OpPeek, Signal: signal})
+}
+
+// PeekLane samples a named signal on a batch lane.
+func (b *Script) PeekLane(lane int, signal string) *Script {
+	return b.Add(testbench.Command{Op: testbench.OpPeek, Lane: lane, Signal: signal})
+}
+
+// Step advances all lanes n cycles.
+func (b *Script) Step(n int64) *Script {
+	return b.Add(testbench.Command{Op: testbench.OpStep, Cycles: n})
+}
+
+// Transact applies pokes, then steps until cond holds on resp (nil: the
+// first sampled cycle), within maxCycles.
+func (b *Script) Transact(pokes map[string]uint64, resp string, cond *testbench.Cond, maxCycles int) *Script {
+	return b.Add(testbench.Command{Op: testbench.OpTransact, Pokes: pokes, Resp: resp, Until: cond, MaxCycles: maxCycles})
+}
+
+// Handshake performs a valid/ready transfer within maxCycles.
+func (b *Script) Handshake(valid string, pokes map[string]uint64, ready string, maxCycles int) *Script {
+	return b.Add(testbench.Command{Op: testbench.OpHandshake, Valid: valid, Pokes: pokes, Ready: ready, MaxCycles: maxCycles})
+}

@@ -2,9 +2,22 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// ErrPoolClosed is returned by [Pool.Get], [Pool.TryGet], and [Pool.Do]
+// after [Pool.Close]: the pool has drained its idle sessions and serves no
+// more checkouts.
+var ErrPoolClosed = errors.New("sim: pool is closed")
+
+// ErrPoolExhausted is returned by [Pool.TryGet] when every session is
+// checked out and the creation budget is spent. It is the backpressure
+// signal for servers that must answer "try again later" instead of
+// blocking (HTTP 429).
+var ErrPoolExhausted = errors.New("sim: pool exhausted")
 
 // Pool serves [Session] values of one [Design] from a bounded,
 // concurrency-safe free-list. Sessions are created lazily up to the pool's
@@ -12,14 +25,27 @@ import (
 // returned or the caller's context is done. This is the serving shape for
 // many-user traffic: compile once, fan requests out over cheap pooled
 // sessions.
+//
+// The pool is elastic downwards as well as upwards: sessions idle longer
+// than a TTL can be reaped with [Pool.ReapIdle] (their creation budget
+// returns, so a later burst re-mints them), and [Pool.Close] drains the
+// free-list for good.
 type Pool struct {
 	d    *Design
 	free chan *Session // idle sessions ready for checkout
 	mint chan struct{} // remaining lazy-creation budget
+	done chan struct{} // closed by Close; wakes blocked Gets
+
+	now func() time.Time // clock hook; time.Now unless SetClock overrides
 
 	mu        sync.Mutex
-	out       map[*Session]bool // sessions currently checked out
-	checkouts uint64            // successful Gets since construction
+	out       map[*Session]bool      // sessions currently checked out
+	idleSince map[*Session]time.Time // check-in time of every free session
+	closed    bool
+	checkouts uint64 // successful Gets since construction
+	reaped    uint64 // sessions closed by ReapIdle
+	live      int    // sessions minted and not yet reaped or drained
+	highWater int    // maximum of live over the pool's lifetime
 }
 
 // NewPool builds a pool of at most size sessions of d.
@@ -28,16 +54,24 @@ func NewPool(d *Design, size int) (*Pool, error) {
 		return nil, fmt.Errorf("sim: pool needs capacity >= 1, got %d", size)
 	}
 	p := &Pool{
-		d:    d,
-		free: make(chan *Session, size),
-		mint: make(chan struct{}, size),
-		out:  make(map[*Session]bool, size),
+		d:         d,
+		free:      make(chan *Session, size),
+		mint:      make(chan struct{}, size),
+		done:      make(chan struct{}),
+		now:       time.Now,
+		out:       make(map[*Session]bool, size),
+		idleSince: make(map[*Session]time.Time, size),
 	}
 	for i := 0; i < size; i++ {
 		p.mint <- struct{}{}
 	}
 	return p, nil
 }
+
+// SetClock overrides the pool's wall clock, the hook that lets tests drive
+// [Pool.ReapIdle] with a fake clock. Call it before the pool is shared
+// between goroutines.
+func (p *Pool) SetClock(now func() time.Time) { p.now = now }
 
 // Design returns the compiled design the pool serves.
 func (p *Pool) Design() *Design { return p.d }
@@ -51,30 +85,64 @@ func (p *Pool) Idle() int { return len(p.free) + len(p.mint) }
 
 // Get checks a session out, blocking while the pool is exhausted. The
 // session starts in the reset state. The caller must hand it back with
-// [Pool.Put] when done.
+// [Pool.Put] when done. After [Pool.Close], Get fails with [ErrPoolClosed].
 func (p *Pool) Get(ctx context.Context) (*Session, error) {
+	select {
+	case <-p.done:
+		return nil, ErrPoolClosed
+	default:
+	}
 	// Fast path: an idle session or unspent creation budget.
 	select {
 	case s := <-p.free:
-		return p.checkout(s), nil
+		return p.checkout(s, false), nil
 	case <-p.mint:
-		return p.checkout(p.d.NewSession()), nil
+		return p.checkout(p.d.NewSession(), true), nil
 	default:
 	}
 	select {
 	case s := <-p.free:
-		return p.checkout(s), nil
+		return p.checkout(s, false), nil
 	case <-p.mint:
-		return p.checkout(p.d.NewSession()), nil
+		return p.checkout(p.d.NewSession(), true), nil
+	case <-p.done:
+		return nil, ErrPoolClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
 
-func (p *Pool) checkout(s *Session) *Session {
+// TryGet checks a session out without blocking. When the pool is saturated
+// it fails immediately with [ErrPoolExhausted] — the signal a server turns
+// into backpressure — and after [Pool.Close] with [ErrPoolClosed].
+func (p *Pool) TryGet() (*Session, error) {
+	select {
+	case <-p.done:
+		return nil, ErrPoolClosed
+	default:
+	}
+	select {
+	case s := <-p.free:
+		return p.checkout(s, false), nil
+	case <-p.mint:
+		return p.checkout(p.d.NewSession(), true), nil
+	default:
+		return nil, ErrPoolExhausted
+	}
+}
+
+func (p *Pool) checkout(s *Session, fresh bool) *Session {
 	p.mu.Lock()
 	p.out[s] = true
 	p.checkouts++
+	if fresh {
+		p.live++
+		if p.live > p.highWater {
+			p.highWater = p.live
+		}
+	} else {
+		delete(p.idleSince, s)
+	}
 	p.mu.Unlock()
 	return s
 }
@@ -88,8 +156,18 @@ type PoolStats struct {
 	Idle int
 	// CheckedOut counts sessions currently held by callers.
 	CheckedOut int
+	// Live counts sessions that exist right now (minted, not yet reaped
+	// or drained); Cap minus Live is the unspent creation budget.
+	Live int
+	// HighWater is the largest Live ever observed — the real session
+	// footprint a capacity planner must budget for.
+	HighWater int
 	// Checkouts counts successful Gets since the pool was built.
 	Checkouts uint64
+	// Reaped counts idle sessions closed by [Pool.ReapIdle].
+	Reaped uint64
+	// Closed reports whether [Pool.Close] has been called.
+	Closed bool
 }
 
 // Stats reports the pool's occupancy counters, the serving-side
@@ -101,14 +179,19 @@ func (p *Pool) Stats() PoolStats {
 		Cap:        cap(p.free),
 		Idle:       len(p.free) + len(p.mint),
 		CheckedOut: len(p.out),
+		Live:       p.live,
+		HighWater:  p.highWater,
 		Checkouts:  p.checkouts,
+		Reaped:     p.reaped,
+		Closed:     p.closed,
 	}
 }
 
 // Put checks a session back in, resetting it so the next checkout starts
 // clean. The caller must not use s afterwards. Put panics if s is not
 // currently checked out of this pool (a double Put, or a session from
-// elsewhere) — returning such a session would alias it to two callers.
+// elsewhere) — returning such a session would alias it to two callers. On a
+// closed pool, Put closes the session instead of re-pooling it.
 func (p *Pool) Put(s *Session) {
 	if s == nil || s.d != p.d {
 		panic("sim: Pool.Put of session from a different design")
@@ -127,7 +210,96 @@ func (p *Pool) Put(s *Session) {
 		panic("sim: Pool.Put without matching Get")
 	}
 	s.Reset()
-	p.free <- s // cannot block: every checked-out session has a slot
+	p.mu.Lock()
+	if p.closed {
+		// Close has already drained the free-list; re-pooling now would
+		// strand the session in the channel forever.
+		p.live--
+		p.mu.Unlock()
+		s.Close()
+		return
+	}
+	p.idleSince[s] = p.now()
+	p.free <- s // under mu and buffered: every checked-out session has a slot
+	p.mu.Unlock()
+}
+
+// ReapIdle closes every session that has sat idle in the free-list for at
+// least ttl, returning its slot to the lazy-creation budget, and reports
+// how many were reaped. This is the elastic shrink path: a pool sized for a
+// burst gives the memory (and, for partitioned designs, the worker
+// goroutines) back once traffic subsides, and re-mints on the next burst.
+// Safe for concurrent use with Get and Put.
+func (p *Pool) ReapIdle(ttl time.Duration) int {
+	cutoff := p.now().Add(-ttl)
+	var keep, reap []*Session
+	for {
+		select {
+		case s := <-p.free:
+			p.mu.Lock()
+			since, ok := p.idleSince[s]
+			if ok && !since.After(cutoff) {
+				delete(p.idleSince, s)
+				p.live--
+				p.reaped++
+				reap = append(reap, s)
+			} else {
+				keep = append(keep, s)
+			}
+			p.mu.Unlock()
+		default:
+			p.mu.Lock()
+			for _, s := range keep {
+				if p.closed {
+					// Close won the race mid-reap: finish its drain instead
+					// of stranding survivors in the channel.
+					p.live--
+					delete(p.idleSince, s)
+					reap = append(reap, s)
+					continue
+				}
+				p.free <- s // under mu and buffered: the session held a slot
+			}
+			returnBudget := !p.closed
+			p.mu.Unlock()
+			for _, s := range reap {
+				s.Close()
+				if returnBudget {
+					p.mint <- struct{}{} // cannot block: the reaped session held a slot
+				}
+			}
+			return len(reap)
+		}
+	}
+}
+
+// Close shuts the pool down: idle sessions are drained and closed, the
+// creation budget is cancelled, and every subsequent or blocked Get fails
+// with [ErrPoolClosed]. Sessions currently checked out stay usable; their
+// Put closes them. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	for {
+		select {
+		case s := <-p.free:
+			p.mu.Lock()
+			delete(p.idleSince, s)
+			p.live--
+			p.mu.Unlock()
+			s.Close()
+		case <-p.mint:
+			// Cancel unspent creation budget so no new session mints.
+		default:
+			return
+		}
+	}
 }
 
 // Do checks a session out, runs fn on it, and checks it back in, returning

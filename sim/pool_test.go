@@ -179,6 +179,158 @@ func TestPoolRejectsClosedSession(t *testing.T) {
 	p.Put(s)
 }
 
+// TestPoolTryGet covers the non-blocking checkout path servers use for
+// backpressure: saturation must fail immediately with ErrPoolExhausted, and
+// capacity returning must make TryGet succeed again.
+func TestPoolTryGet(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.TryGet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TryGet(); err != sim.ErrPoolExhausted {
+		t.Fatalf("TryGet on exhausted pool: err = %v, want ErrPoolExhausted", err)
+	}
+	p.Put(s)
+	s2, err := p.TryGet()
+	if err != nil {
+		t.Fatalf("TryGet after Put: %v", err)
+	}
+	p.Put(s2)
+}
+
+// TestPoolClose: Close drains the idle free-list, fails subsequent and
+// blocked Gets with ErrPoolClosed, and quietly retires sessions still
+// checked out when they are Put back.
+func TestPoolClose(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	held, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(idle) // one idle session for Close to drain
+
+	// Block a Get on the fully drawn pool so Close demonstrably wakes it.
+	blocked := make(chan error, 1)
+	go func() {
+		// Drain remaining capacity first so this Get truly blocks.
+		s2, err := p.Get(ctx)
+		if err != nil {
+			blocked <- err
+			return
+		}
+		_, err = p.Get(ctx)
+		p.Put(s2)
+		blocked <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	p.Close()
+	if err := <-blocked; err != sim.ErrPoolClosed {
+		t.Fatalf("blocked Get after Close: err = %v, want ErrPoolClosed", err)
+	}
+	if _, err := p.Get(ctx); err != sim.ErrPoolClosed {
+		t.Fatalf("Get after Close: err = %v, want ErrPoolClosed", err)
+	}
+	if _, err := p.TryGet(); err != sim.ErrPoolClosed {
+		t.Fatalf("TryGet after Close: err = %v, want ErrPoolClosed", err)
+	}
+	if err := p.Do(ctx, func(*sim.Session) error { return nil }); err != sim.ErrPoolClosed {
+		t.Fatalf("Do after Close: err = %v, want ErrPoolClosed", err)
+	}
+	st := p.Stats()
+	if !st.Closed {
+		t.Fatalf("Stats().Closed = false after Close")
+	}
+	// The held session is still the caller's; Put must retire it without
+	// panicking rather than re-pool it.
+	p.Put(held)
+	if st := p.Stats(); st.Live != 0 {
+		t.Fatalf("after final Put: live = %d, want 0", st.Live)
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolReapIdle drives the elastic shrink path with a fake clock: only
+// sessions idle past the TTL are reaped, their budget returns so the pool
+// can grow again, and the stats account for every transition.
+func TestPoolReapIdle(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	p.SetClock(func() time.Time { return now })
+	ctx := context.Background()
+
+	// Mint three sessions; return two at t=1000 and one at t=1060.
+	s1, _ := p.Get(ctx)
+	s2, _ := p.Get(ctx)
+	s3, _ := p.Get(ctx)
+	if st := p.Stats(); st.Live != 3 || st.HighWater != 3 {
+		t.Fatalf("after 3 Gets: %+v", st)
+	}
+	p.Put(s1)
+	p.Put(s2)
+	now = now.Add(60 * time.Second)
+	p.Put(s3)
+
+	// Nothing is old enough at a 2-minute TTL.
+	if n := p.ReapIdle(2 * time.Minute); n != 0 {
+		t.Fatalf("premature reap: %d sessions", n)
+	}
+	// At t=1090 the first two (idle 90s) exceed a 75s TTL; s3 (idle 30s)
+	// survives.
+	now = now.Add(30 * time.Second)
+	if n := p.ReapIdle(75 * time.Second); n != 2 {
+		t.Fatalf("ReapIdle = %d, want 2", n)
+	}
+	st := p.Stats()
+	if st.Reaped != 2 || st.Live != 1 || st.HighWater != 3 {
+		t.Fatalf("after reap: %+v", st)
+	}
+	if st.Idle != 3 { // one surviving session + two returned budget slots
+		t.Fatalf("after reap: idle = %d, want 3", st.Idle)
+	}
+	// The budget returned: the pool can mint back up to capacity.
+	a, _ := p.Get(ctx)
+	b, _ := p.Get(ctx)
+	c, _ := p.Get(ctx)
+	if a == nil || b == nil || c == nil {
+		t.Fatal("pool failed to regrow after reap")
+	}
+	if st := p.Stats(); st.Live != 3 {
+		t.Fatalf("after regrow: live = %d, want 3", st.Live)
+	}
+	p.Put(a)
+	p.Put(b)
+	p.Put(c)
+	p.Close()
+}
+
 // TestPoolDoublePutPanics covers the aliasing hazard: a double Put while
 // another session is still checked out must panic rather than enqueue the
 // same session twice.
