@@ -297,14 +297,20 @@ func BenchmarkSimBatchStep64(b *testing.B) { benchSimBatchStep(b, 64) }
 
 // benchKernelBatch drives the batch engine directly and reports delivered
 // lane-cycles/second: b.N steps × lanes over wall clock. scalar selects the
-// pre-schedule reference loop retained for the perf trajectory.
-func benchKernelBatch(b *testing.B, lanes, workers int, scalar bool) {
+// pre-schedule reference loop retained for the perf trajectory; packing
+// selects the bit-packed schedule.
+func benchKernelBatch(b *testing.B, lanes, workers int, scalar, packing bool) {
 	_, t := benchDesign(b)
+	benchBatchTensor(b, t, lanes, workers, scalar, packing)
+}
+
+func benchBatchTensor(b *testing.B, t *oim.Tensor, lanes, workers int, scalar, packing bool) {
+	b.Helper()
 	prog, err := kernel.NewProgram(t, kernel.Config{Kind: kernel.PSU})
 	if err != nil {
 		b.Fatal(err)
 	}
-	bt, err := prog.InstantiateBatchParallel(lanes, workers)
+	bt, err := prog.InstantiateBatchWith(lanes, kernel.BatchOptions{Workers: workers, Packing: packing})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -330,17 +336,36 @@ func benchKernelBatch(b *testing.B, lanes, workers int, scalar bool) {
 }
 
 // BenchmarkBatchStep is the single-thread fused fast path; its scalar
-// sibling is the pre-schedule loop it replaced. The ratio of their
-// lane-cycles/s is the figure BENCH_*.json tracks PR-over-PR.
-func BenchmarkBatchStep(b *testing.B)       { benchKernelBatch(b, 64, 1, false) }
-func BenchmarkBatchStepScalar(b *testing.B) { benchKernelBatch(b, 64, 1, true) }
+// sibling is the pre-schedule loop it replaced, and its packed sibling the
+// bit-packed schedule, which must hold parity on this datapath-heavy
+// design. The fused/scalar and packed/fused lane-cycles/s ratios are the
+// figures BENCH_*.json tracks PR-over-PR.
+func BenchmarkBatchStep(b *testing.B)       { benchKernelBatch(b, 64, 1, false, false) }
+func BenchmarkBatchStepScalar(b *testing.B) { benchKernelBatch(b, 64, 1, true, false) }
+func BenchmarkBatchStepPacked(b *testing.B) { benchKernelBatch(b, 64, 1, false, true) }
+
+// BenchmarkBatchCtrl pits the fused and packed schedules on the
+// control-dominated arbiter fabric, where nearly every slot is 1-bit and
+// the packed bodies evaluate 64 lanes per word-wide op.
+func benchCtrlBatch(b *testing.B, packing bool) {
+	_, t, err := bench.Build(gen.Spec{Family: gen.Ctrl, Cores: 2048, Scale: benchCfg.Scale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatchTensor(b, t, 64, 1, false, packing)
+}
+
+func BenchmarkBatchCtrlFused(b *testing.B)  { benchCtrlBatch(b, false) }
+func BenchmarkBatchCtrlPacked(b *testing.B) { benchCtrlBatch(b, true) }
 
 // BenchmarkBatchParallel shards 256 lanes over persistent lane workers; the
-// workers=1 row is the scaling baseline.
-func BenchmarkBatchParallel1(b *testing.B) { benchKernelBatch(b, 256, 1, false) }
-func BenchmarkBatchParallel2(b *testing.B) { benchKernelBatch(b, 256, 2, false) }
-func BenchmarkBatchParallel4(b *testing.B) { benchKernelBatch(b, 256, 4, false) }
-func BenchmarkBatchParallel8(b *testing.B) { benchKernelBatch(b, 256, 8, false) }
+// workers=1 row is the scaling baseline. Packed parallel batches shard on
+// 64-lane-aligned word boundaries.
+func BenchmarkBatchParallel1(b *testing.B)       { benchKernelBatch(b, 256, 1, false, false) }
+func BenchmarkBatchParallel2(b *testing.B)       { benchKernelBatch(b, 256, 2, false, false) }
+func BenchmarkBatchParallel4(b *testing.B)       { benchKernelBatch(b, 256, 4, false, false) }
+func BenchmarkBatchParallel8(b *testing.B)       { benchKernelBatch(b, 256, 8, false, false) }
+func BenchmarkBatchPackedParallel4(b *testing.B) { benchKernelBatch(b, 256, 4, false, true) }
 
 func BenchmarkSimPoolCheckout(b *testing.B) {
 	d := benchSimDesign(b)

@@ -10,9 +10,12 @@
 // session pool drained by parallel workers. "workloads" drives the Table 3
 // workload rows through the public sim.Testbench transaction layer and
 // reports delivered cycles/s plus the extrapolated full-workload wall
-// clock. "batch" is the lane-sharded
-// batch engine study (fused schedule vs the pre-schedule scalar loop, and
-// worker scaling). "partitions" is the RepCut strong-scaling study
+// clock. "batch" is the lane-sharded batch engine study: the fused
+// schedule vs the pre-schedule scalar loop, the bit-packed schedule
+// (1-bit slots stored one lane per bit, word-wide bodies — its column is
+// measured against the fused row), and fused/packed worker scaling, on
+// the datapath SoCs plus the control-dominated Ctrl arbiter fabric.
+// "partitions" is the RepCut strong-scaling study
 // (speedup vs. replication and cut size, per partition strategy, with and
 // without OS-thread pinning), and "partition-quality" sweeps strategy ×
 // partition count across the benchmark designs. "serve" drives a loopback

@@ -19,8 +19,8 @@ import (
 )
 
 func main() {
-	family := flag.String("family", "rocket", "design family: rocket|small|gemmini|sha3")
-	cores := flag.Int("cores", 1, "core count (rocket/small) or grid size (gemmini)")
+	family := flag.String("family", "rocket", "design family: rocket|small|gemmini|sha3|ctrl")
+	cores := flag.Int("cores", 1, "core count (rocket/small), grid size (gemmini), or requester count (ctrl)")
 	scale := flag.Int("scale", 1, "size divisor (1 = calibrated full size)")
 	stats := flag.Bool("stats", false, "print design statistics instead of FIRRTL")
 	check := flag.Bool("check", false, "compile the emitted FIRRTL through rteaal/sim and report")
@@ -36,6 +36,8 @@ func main() {
 		fam = gen.Gemmini
 	case "sha3":
 		fam = gen.SHA3
+	case "ctrl":
+		fam = gen.Ctrl
 	default:
 		fatal(fmt.Errorf("unknown family %q", *family))
 	}

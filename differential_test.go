@@ -1,6 +1,7 @@
 // Cross-engine differential fuzzing: random designs × random stimulus,
 // stepped through every execution engine the repository ships — scalar
 // session, RepCut-partitioned sessions, the fused batch schedule, the
+// bit-packed batch schedule (sequential and lane-sharded), the wide
 // lane-sharded parallel batch, and the pre-schedule scalar batch loop
 // (StepReference) — asserting bit-exact output and register traces. This is
 // the GSIM/Manticore-style validation discipline: the parallel and
@@ -87,8 +88,8 @@ func diffEngines(t *testing.T, seed int64) ([]diffEngine, int) {
 		})
 		return len(d.Inputs())
 	}
-	batch := func(name string, workers int) {
-		d, err := sim.CompileGraph(g)
+	batch := func(name string, workers int, opts ...sim.Option) {
+		d, err := sim.CompileGraph(g, opts...)
 		if err != nil {
 			t.Fatalf("%s: compile: %v\n%s", name, err, reproLine(seed))
 		}
@@ -112,8 +113,10 @@ func diffEngines(t *testing.T, seed int64) ([]diffEngine, int) {
 	session("session/TI", sim.WithKernel(sim.TI))
 	session("partitioned/n=2", sim.WithPartitions(2))
 	session("partitioned/n=3", sim.WithPartitions(3))
-	batch("batch/fused", 1)
-	batch("batch/parallel/w=3", 3)
+	batch("batch/fused", 1, sim.WithBatchPacking(false))
+	batch("batch/parallel/w=3", 3, sim.WithBatchPacking(false))
+	batch("batch/packed", 1)
+	batch("batch/packed/w=3", 3)
 
 	// StepReference: the pre-schedule scalar batch loop, kept as the parity
 	// oracle. It is built through the identical (deterministic) compile

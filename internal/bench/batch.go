@@ -12,32 +12,42 @@ import (
 )
 
 // BatchSweep is the lane-sharded batch engine study (not from the paper):
-// on the benchmark SoC designs it measures delivered lane-cycles/second for
+// on the benchmark designs it measures delivered lane-cycles/second for
 // (1) a single session, the one-lane baseline, (2) the pre-schedule scalar
 // batch loop retained as [kernel.Batch.StepReference], (3) the fused
-// batch-specialised schedule on one thread, and (4) the fused schedule
-// sharded over persistent lane workers. The fused-vs-scalar ratio and the
-// worker scaling curve are the two figures the BENCH_*.json trajectory
-// tracks PR-over-PR; scaling rows are only meaningful relative to
-// GOMAXPROCS, which the JSON document records alongside.
+// batch-specialised schedule on one thread, (4) the bit-packed schedule on
+// one thread (1-bit slots stored one lane per bit, word-wide loop bodies),
+// and (5) the fused and packed schedules sharded over persistent lane
+// workers. Besides the datapath-heavy SoC designs (r1, s1) the sweep runs
+// the control-dominated Ctrl arbiter fabric, where packing covers nearly
+// every slot. The packed-vs-fused ratio on Ctrl, the ≤-noise packed delta
+// on the SoCs, and the worker scaling curve are the figures the
+// BENCH_*.json trajectory tracks PR-over-PR; scaling rows are only
+// meaningful relative to GOMAXPROCS, which the JSON document records
+// alongside.
 func BatchSweep(w io.Writer, c Config) error {
 	c = c.norm()
+	// The single-thread rows (scalar/fused/packed) carry the ratios the
+	// trajectory tracks, so they get a longer timing window than the
+	// worker-scaling sweep; short windows put host noise in the speedup
+	// column (timeBatch additionally takes the best of three windows).
 	const (
 		seqLanes   = 64
 		parLanes   = 256
-		seqCycles  = 200
+		seqCycles  = 300
 		parCycles  = 60
 		baseCycles = 2000
 	)
 	specs := []gen.Spec{
 		{Family: gen.Rocket, Cores: 1, Scale: c.Scale},
 		{Family: gen.Boom, Cores: 1, Scale: c.Scale},
+		{Family: gen.Ctrl, Cores: 2048, Scale: c.Scale},
 	}
 	fmt.Fprintf(w, "batch: lane-sharded batch engine, PSU kernel (GOMAXPROCS=%d)\n",
 		runtime.GOMAXPROCS(0))
 	// The speedup column is relative to each group's own baseline: the
-	// scalar loop for the fused row, the workers=1 run for parallel rows
-	// (each group's baseline prints 1.00x).
+	// scalar loop for the fused row, the fused run for the packed row, the
+	// workers=1 run for parallel rows (each group's baseline prints 1.00x).
 	fmt.Fprintf(w, "%-10s %-24s %8s %8s %16s %10s\n",
 		"design", "engine", "lanes", "workers", "lane-cycles/s", "speedup")
 	for _, spec := range specs {
@@ -64,8 +74,8 @@ func BatchSweep(w io.Writer, c Config) error {
 		row("session x1", 1, 1, sess, 0)
 		c.Rec.Add("batch", name, "session_cycles_per_sec", sess, "cycles/s")
 
-		// The pre-schedule scalar loop this PR replaced.
-		scalar, err := timeBatch(prog, seqLanes, 1, seqCycles, true)
+		// The pre-schedule scalar loop the fused schedule replaced.
+		scalar, err := timeBatch(prog, seqLanes, 1, seqCycles, true, false)
 		if err != nil {
 			return err
 		}
@@ -73,7 +83,7 @@ func BatchSweep(w io.Writer, c Config) error {
 		c.Rec.Add("batch", name, "scalar_lane_cycles_per_sec", scalar, "lane-cycles/s")
 
 		// The fused schedule, single thread.
-		fused, err := timeBatch(prog, seqLanes, 1, seqCycles, false)
+		fused, err := timeBatch(prog, seqLanes, 1, seqCycles, false, false)
 		if err != nil {
 			return err
 		}
@@ -81,24 +91,42 @@ func BatchSweep(w io.Writer, c Config) error {
 		c.Rec.Add("batch", name, "fused_lane_cycles_per_sec", fused, "lane-cycles/s")
 		c.Rec.Add("batch", name, "fused_speedup_vs_scalar", fused/scalar, "x")
 
-		// Lane sharding over persistent workers.
-		var base float64
-		for _, workers := range []int{1, 2, 4, 8} {
-			rate, err := timeBatch(prog, parLanes, workers, parCycles, false)
-			if err != nil {
-				return err
+		// The bit-packed schedule, single thread. Its baseline is the fused
+		// run: the packed-vs-fused ratio is thread-count-independent, so it
+		// stays meaningful even when the host serialises the parallel rows.
+		packed, err := timeBatch(prog, seqLanes, 1, seqCycles, false, true)
+		if err != nil {
+			return err
+		}
+		row("batch packed", seqLanes, 1, packed, fused)
+		c.Rec.Add("batch", name, "packed_lane_cycles_per_sec", packed, "lane-cycles/s")
+		c.Rec.Add("batch", name, "packed_speedup_vs_fused", packed/fused, "x")
+
+		// Lane sharding over persistent workers, fused then packed (packed
+		// shards on 64-lane-aligned word boundaries).
+		for _, packing := range []bool{false, true} {
+			engine, key := "batch parallel", "parallel"
+			if packing {
+				engine, key = "batch packed parallel", "packed_parallel"
 			}
-			if workers == 1 {
-				base = rate
-			}
-			row("batch parallel", parLanes, workers, rate, base)
-			c.Rec.Add("batch", name,
-				fmt.Sprintf("parallel_lane_cycles_per_sec/workers_%d", workers),
-				rate, "lane-cycles/s")
-			if workers > 1 && base > 0 {
+			var base float64
+			for _, workers := range []int{1, 2, 4, 8} {
+				rate, err := timeBatch(prog, parLanes, workers, parCycles, false, packing)
+				if err != nil {
+					return err
+				}
+				if workers == 1 {
+					base = rate
+				}
+				row(engine, parLanes, workers, rate, base)
 				c.Rec.Add("batch", name,
-					fmt.Sprintf("parallel_scaling/workers_%d_vs_1", workers),
-					rate/base, "x")
+					fmt.Sprintf("%s_lane_cycles_per_sec/workers_%d", key, workers),
+					rate, "lane-cycles/s")
+				if workers > 1 && base > 0 {
+					c.Rec.Add("batch", name,
+						fmt.Sprintf("%s_scaling/workers_%d_vs_1", key, workers),
+						rate/base, "x")
+				}
 			}
 		}
 	}
@@ -107,9 +135,9 @@ func BatchSweep(w io.Writer, c Config) error {
 
 // timeBatch drives a batch with seeded random stimulus and reports
 // delivered lane-cycles/second. scalar selects the pre-schedule reference
-// loop.
-func timeBatch(prog *kernel.Program, lanes, workers, cycles int, scalar bool) (float64, error) {
-	b, err := prog.InstantiateBatchParallel(lanes, workers)
+// loop; packing selects the bit-packed schedule.
+func timeBatch(prog *kernel.Program, lanes, workers, cycles int, scalar, packing bool) (float64, error) {
+	b, err := prog.InstantiateBatchWith(lanes, kernel.BatchOptions{Workers: workers, Packing: packing})
 	if err != nil {
 		return 0, err
 	}
@@ -126,13 +154,22 @@ func timeBatch(prog *kernel.Program, lanes, workers, cycles int, scalar bool) (f
 		step = (*kernel.Batch).StepReference
 	}
 	step(b) // warm the schedule and page in the SoA store
-	start := time.Now()
-	for c := 0; c < cycles; c++ {
-		step(b)
+	// Best of three windows, with the heap collected up front: earlier
+	// sweep rows leave garbage behind, and a GC pause landing inside one
+	// timing window would otherwise masquerade as an engine slowdown.
+	runtime.GC()
+	var best time.Duration
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for c := 0; c < cycles; c++ {
+			step(b)
+		}
+		if el := time.Since(start); rep == 0 || el < best {
+			best = el
+		}
 	}
-	el := time.Since(start)
-	if el <= 0 {
-		el = time.Nanosecond
+	if best <= 0 {
+		best = time.Nanosecond
 	}
-	return float64(cycles) * float64(lanes) / el.Seconds(), nil
+	return float64(cycles) * float64(lanes) / best.Seconds(), nil
 }

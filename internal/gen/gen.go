@@ -34,6 +34,12 @@ const (
 	Gemmini
 	// SHA3 is the Keccak accelerator plus glue.
 	SHA3
+	// Ctrl is a control-plane arbiter fabric: token-ring channel arbiters
+	// whose state is almost entirely 1-bit (requests, pendings, tokens,
+	// grant history), the bit-packing stress design. Unlike the Table 1
+	// families it models no paper design; it exists so the benchmark suite
+	// has a circuit where word-wide packed evaluation should dominate.
+	Ctrl
 )
 
 func (f Family) String() string {
@@ -44,6 +50,8 @@ func (f Family) String() string {
 		return "small"
 	case Gemmini:
 		return "gemmini"
+	case Ctrl:
+		return "ctrl"
 	default:
 		return "sha3"
 	}
@@ -52,15 +60,17 @@ func (f Family) String() string {
 // Spec selects a design instance.
 type Spec struct {
 	Family Family
-	// Cores is the core count for Rocket/Boom (1..24) and the grid
-	// dimension for Gemmini (8, 16, or 32). Ignored for SHA3.
+	// Cores is the core count for Rocket/Boom (1..24), the grid dimension
+	// for Gemmini (8, 16, or 32), and the arbiter channel count for Ctrl.
+	// Ignored for SHA3.
 	Cores int
 	// Scale divides the synthesised size by the given factor (>= 1) so
 	// perf-model sweeps stay tractable; 1 reproduces the calibrated size.
 	Scale int
 }
 
-// Name renders the paper's design labels: r1..r24, s1..s12, g8/g16/g32, sha3.
+// Name renders the paper's design labels — r1..r24, s1..s12, g8/g16/g32,
+// sha3 — plus c<channels> for the Ctrl arbiter fabric.
 func (s Spec) Name() string {
 	switch s.Family {
 	case Rocket:
@@ -69,6 +79,8 @@ func (s Spec) Name() string {
 		return fmt.Sprintf("s%d", s.Cores)
 	case Gemmini:
 		return fmt.Sprintf("g%d", s.Cores)
+	case Ctrl:
+		return fmt.Sprintf("c%d", s.Cores)
 	default:
 		return "sha3"
 	}
@@ -91,6 +103,8 @@ func (s Spec) SimCycles() int64 {
 		default:
 			return 160_000
 		}
+	case Ctrl:
+		return 500_000 // not a Table 3 workload; see the Ctrl family doc
 	default:
 		return 1_200_000
 	}
@@ -195,6 +209,8 @@ func Generate(spec Spec) (*dfg.Graph, error) {
 	case SHA3:
 		synthSoC(g, rng, p, 0) // glue only
 		addKeccak(g)
+	case Ctrl:
+		addCtrl(g, max(8, spec.Cores/spec.Scale))
 	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("gen: %s: %w", spec.Name(), err)
@@ -404,6 +420,93 @@ func addMACGrid(g *dfg.Graph, dim, width, scale int) {
 	}
 	// Export corner accumulators for tests.
 	g.AddOutput("mesh_acc_last", acc[dim-1][dim-1])
+}
+
+// addCtrl builds the control-plane arbiter fabric: `channels` request
+// channels arbitrated by a rotating token ring. Per channel the state is a
+// pending flag, a token bit, and a 4-deep grant-history shift register —
+// all 1-bit — plus one shared 16-bit utilisation counter whose update mux
+// and saturation compare tie the wide datapath to the packed control bits
+// (exercising the pack/unpack shims, not just the all-packed fast path).
+// Virtually every slot of the resulting OIM is provably 1-bit, making this
+// the design where bit-packed batch evaluation should win by the largest
+// margin; the wide-heavy SoC families bound the other end.
+func addCtrl(g *dfg.Graph, channels int) {
+	enable := g.AddInput("ctrl_enable", 1)
+	req := make([]dfg.NodeID, channels)
+	tok := make([]dfg.NodeID, channels)
+	pend := make([]dfg.NodeID, channels)
+	for c := 0; c < channels; c++ {
+		req[c] = g.AddInput(fmt.Sprintf("ctrl_req_%d", c), 1)
+		init := uint64(0)
+		if c == 0 {
+			init = 1 // the token starts at channel 0
+		}
+		tok[c] = g.AddReg(fmt.Sprintf("ctrl_tok_%d", c), 1, init)
+		pend[c] = g.AddReg(fmt.Sprintf("ctrl_pend_%d", c), 1, 0)
+	}
+	util := g.AddReg("ctrl_util", 16, 0)
+	full := g.AddOp(wire.Eq, 1, util, g.AddConst(0xFFFF, 16))
+
+	grants := make([]dfg.NodeID, channels)
+	for c := 0; c < channels; c++ {
+		grants[c] = g.AddOp(wire.And, 1, g.AddOp(wire.And, 1, pend[c], tok[c]), enable)
+	}
+	// Pairwise or-trees keep the reduction shallow like a real arbiter's.
+	orTree := func(xs []dfg.NodeID) dfg.NodeID {
+		for len(xs) > 1 {
+			var next []dfg.NodeID
+			for i := 0; i+1 < len(xs); i += 2 {
+				next = append(next, g.AddOp(wire.Or, 1, xs[i], xs[i+1]))
+			}
+			if len(xs)%2 == 1 {
+				next = append(next, xs[len(xs)-1])
+			}
+			xs = next
+		}
+		return xs[0]
+	}
+	anyGrant := orTree(append([]dfg.NodeID(nil), grants...))
+	anyPend := orTree(append([]dfg.NodeID(nil), pend...))
+	idle := g.AddOp(wire.Not, 1, anyPend)
+	advance := g.AddOp(wire.Or, 1, anyGrant, g.AddOp(wire.Or, 1, idle, full))
+
+	for c := 0; c < channels; c++ {
+		prev := tok[(c+channels-1)%channels]
+		g.SetRegNext(tok[c], g.AddOp(wire.Mux, 1, advance, prev, tok[c]))
+		accept := g.AddOp(wire.Or, 1, req[c], pend[c])
+		g.SetRegNext(pend[c], g.AddOp(wire.And, 1, accept, g.AddOp(wire.Not, 1, grants[c])))
+	}
+
+	// Grant history: a 4-deep 1-bit shift register per channel, folded into
+	// one parity output so the registers stay live through optimisation.
+	var hist []dfg.NodeID
+	for c := 0; c < channels; c++ {
+		h := grants[c]
+		for k := 0; k < 4; k++ {
+			hr := g.AddReg(fmt.Sprintf("ctrl_hist_%d_%d", c, k), 1, 0)
+			g.SetRegNext(hr, h)
+			h = hr
+			hist = append(hist, hr)
+		}
+	}
+	parity := hist[0]
+	for _, h := range hist[1:] {
+		parity = g.AddOp(wire.Xor, 1, parity, h)
+	}
+
+	// The shared utilisation counter: saturating-reset on full, counting on
+	// any grant — both selects are packed booleans steering a wide mux.
+	inc := g.AddOp(wire.Add, 16, util, g.AddConst(1, 16))
+	counted := g.AddOp(wire.Mux, 16, anyGrant, inc, util)
+	g.SetRegNext(util, g.AddOp(wire.Mux, 16, full, g.AddConst(0, 16), counted))
+
+	g.AddOutput("ctrl_any_grant", anyGrant)
+	g.AddOutput("ctrl_any_pend", anyPend)
+	g.AddOutput("ctrl_full", full)
+	g.AddOutput("ctrl_util", util)
+	g.AddOutput("ctrl_hist_parity", parity)
+	g.AddOutput("ctrl_grant_0", grants[0])
 }
 
 var keccakRC = [24]uint64{

@@ -16,6 +16,7 @@ func TestAllFamiliesValidate(t *testing.T) {
 		{Family: Boom, Cores: 1, Scale: 8},
 		{Family: Gemmini, Cores: 8, Scale: 4},
 		{Family: SHA3, Scale: 4},
+		{Family: Ctrl, Cores: 256, Scale: 4},
 	}
 	for _, s := range specs {
 		g, err := Generate(s)
@@ -40,6 +41,9 @@ func TestNamesAndCycles(t *testing.T) {
 	}
 	if (Spec{Family: SHA3}).Name() != "sha3" {
 		t.Error("sha3 name")
+	}
+	if (Spec{Family: Ctrl, Cores: 2048}).Name() != "c2048" {
+		t.Error("ctrl name")
 	}
 	// Table 3 cycle counts.
 	if (Spec{Family: Rocket, Cores: 1}).SimCycles() != 540_000 {
@@ -245,6 +249,39 @@ func TestKeccakMatchesSoftware(t *testing.T) {
 	}
 }
 
+// TestCtrlIsOneBitDominated pins the reason the Ctrl family exists: after
+// the real optimisation pipeline, the overwhelming majority of its LI slots
+// must be provably 1-bit, so the bit-packed batch layout covers nearly the
+// whole design.
+func TestCtrlIsOneBitDominated(t *testing.T) {
+	g, err := Generate(Spec{Family: Ctrl, Cores: 256, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := dfg.Levelize(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := oim.Build(lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, total := 0, ten.NumSlots
+	for _, ok := range kernel.OneBitSlots(ten) {
+		if ok {
+			one++
+		}
+	}
+	if frac := float64(one) / float64(total); frac < 0.9 {
+		t.Fatalf("only %d/%d slots (%.0f%%) provably 1-bit; Ctrl must be control-dominated",
+			one, total, frac*100)
+	}
+}
+
 func itoa(i int) string {
 	if i == 0 {
 		return "0"
@@ -266,6 +303,7 @@ func TestGeneratedDesignsSimulateThroughKernels(t *testing.T) {
 	specs := []Spec{
 		{Family: Rocket, Cores: 1, Scale: 16},
 		{Family: SHA3, Scale: 4},
+		{Family: Ctrl, Cores: 128, Scale: 2},
 	}
 	for _, s := range specs {
 		g, err := Generate(s)

@@ -24,20 +24,34 @@ import (
 // in-layer writes never feed in-layer reads, so results go straight to their
 // LI coordinates in every lane.
 //
+// A batch built over a packing schedule additionally keeps every
+// provably-1-bit slot in a bit-packed store — lane i is bit i of a word
+// vector — so the packed loop bodies evaluate 64 lanes per word-wide op.
+// The wide lane vectors of packed slots stay allocated as the
+// [Batch.SettleReference] oracle's working set and are synchronised with
+// the packed store around every reference call; Poke/Peek route through
+// the packed layout transparently.
+//
 // A batch built with more than one worker shards its lanes over persistent
 // per-worker goroutines: every worker runs the full schedule across its own
 // contiguous lane block — lanes never interact, so one settle/commit barrier
-// per call is the only synchronisation. Call [Batch.Close] to stop the
-// workers deterministically; an unreachable batch is cleaned up by the
-// garbage collector.
+// per call is the only synchronisation. Packed batches shard on
+// 64-lane-aligned word boundaries so no two workers share a packed word;
+// surplus workers past the word count idle on empty ranges. Call
+// [Batch.Close] to stop the workers deterministically; an unreachable batch
+// is cleaned up by the garbage collector.
 type Batch struct {
-	t     *oim.Tensor
-	sched *batchSchedule
-	lanes int
-	li    [][]uint64 // li[slot] is the slot's lane-vector (SoA)
-	buf   []uint64   // backing store for li, NumSlots*lanes contiguous
-	next  []uint64   // staged register commit, regs*lanes (staged plan only)
-	outs  []uint64   // sampled outputs, outputs*lanes
+	t      *oim.Tensor
+	sched  *batchSchedule
+	lanes  int
+	words  int        // packed words per slot, (lanes+63)/64 (packing only)
+	li     [][]uint64 // li[slot] is the slot's lane-vector (SoA)
+	buf    []uint64   // backing store for li, NumSlots*lanes contiguous
+	pk     [][]uint64 // pk[slot] is the packed lane-bitvector; nil per wide slot
+	pkbuf  []uint64   // backing store for pk, packedSlots*words contiguous
+	next   []uint64   // staged register commit, regs*lanes (staged plan only)
+	pkNext []uint64   // packed staged commit, regs*words (staged packed plan)
+	outs   []uint64   // sampled outputs, outputs*lanes
 
 	// seq is the sequential executor (workers == 1): one shard bound to
 	// the full lane range, run on the caller's goroutine.
@@ -94,7 +108,7 @@ func NewBatch(t *oim.Tensor, lanes int) (*Batch, error) {
 	if t.NumSlots == 0 {
 		return nil, fmt.Errorf("kernel: empty design")
 	}
-	return newBatch(t, buildBatchSchedule(t), lanes, 1)
+	return newBatch(t, buildBatchSchedule(t, false), lanes, 1)
 }
 
 func newBatch(t *oim.Tensor, sched *batchSchedule, lanes, workers int) (*Batch, error) {
@@ -119,11 +133,22 @@ func newBatch(t *oim.Tensor, sched *batchSchedule, lanes, workers int) (*Batch, 
 	for s := range b.li {
 		b.li[s] = b.buf[s*lanes : (s+1)*lanes : (s+1)*lanes]
 	}
+	if sched.packing {
+		b.words = (lanes + 63) / 64
+		b.pk = make([][]uint64, t.NumSlots)
+		b.pkbuf = make([]uint64, len(sched.packedSlots)*b.words)
+		for i, slot := range sched.packedSlots {
+			b.pk[slot] = b.pkbuf[i*b.words : (i+1)*b.words : (i+1)*b.words]
+		}
+		if !sched.fusedCommit {
+			b.pkNext = make([]uint64, len(t.RegSlots)*b.words)
+		}
+	}
 	bindShard := func(lo, hi int) *batchShard {
 		return &batchShard{
-			ops:         bindOps(sched, b.li, lo, hi),
-			commits:     bindCommits(sched, b.li, b.next, lanes, lo, hi),
-			outB:        bindOuts(t, b.li, b.outs, lanes, lo, hi),
+			ops:         bindOps(sched, b.li, b.pk, lo, hi),
+			commits:     bindCommits(sched, b.li, b.pk, b.next, b.pkNext, lanes, b.words, lo, hi),
+			outB:        bindOuts(t, sched, b.li, b.pk, b.outs, lanes, lo, hi),
 			fusedCommit: sched.fusedCommit,
 		}
 	}
@@ -134,9 +159,22 @@ func newBatch(t *oim.Tensor, sched *batchSchedule, lanes, workers int) (*Batch, 
 		b.cmds = make([]chan batchCmd, workers)
 		lo := 0
 		for w := 0; w < workers; w++ {
-			hi := lo + lanes/workers
-			if w < lanes%workers {
-				hi++
+			var hi int
+			if sched.packing {
+				// Split on 64-lane-aligned word boundaries so no two
+				// workers ever write the same packed word. Workers past
+				// the word count keep an empty [hi,hi) range — they idle
+				// at the barrier but preserve the requested shard count.
+				wds := b.words / workers
+				if w < b.words%workers {
+					wds++
+				}
+				hi = min(lo+wds*64, lanes)
+			} else {
+				hi = lo + lanes/workers
+				if w < lanes%workers {
+					hi++
+				}
 			}
 			sh := bindShard(lo, hi)
 			b.shards = append(b.shards, sh)
@@ -155,6 +193,11 @@ func (b *Batch) Lanes() int { return b.lanes }
 
 // Workers reports the effective worker count (1 = sequential).
 func (b *Batch) Workers() int { return max(len(b.shards), 1) }
+
+// Packed reports whether the batch runs the bit-packed layout: true when
+// the schedule was compiled with packing and the design has at least one
+// provably-1-bit slot.
+func (b *Batch) Packed() bool { return b.pk != nil }
 
 // Tensor returns the underlying OIM.
 func (b *Batch) Tensor() *oim.Tensor { return b.t }
@@ -190,15 +233,33 @@ func (b *Batch) Reset() {
 	for i := range b.buf {
 		b.buf[i] = 0
 	}
+	for i := range b.pkbuf {
+		b.pkbuf[i] = 0
+	}
 	for _, c := range b.t.ConstSlots {
 		fill(b.li[c.Slot], c.Value)
+		if w := b.pkOf(c.Slot); w != nil {
+			fillPk(w, c.Value)
+		}
 	}
 	for _, r := range b.t.RegSlots {
 		fill(b.li[r.Q], r.Init)
+		if w := b.pkOf(r.Q); w != nil {
+			fillPk(w, r.Init)
+		}
 	}
 	for i := range b.outs {
 		b.outs[i] = 0
 	}
+}
+
+// pkOf returns slot's packed word vector, or nil when the slot (or the
+// whole batch) is wide.
+func (b *Batch) pkOf(slot int32) []uint64 {
+	if b.pk == nil {
+		return nil
+	}
+	return b.pk[slot]
 }
 
 func fill(v []uint64, x uint64) {
@@ -210,6 +271,10 @@ func fill(v []uint64, x uint64) {
 // PokeInput drives the idx-th primary input of one lane.
 func (b *Batch) PokeInput(lane, idx int, v uint64) {
 	slot := b.t.InputSlots[idx]
+	if w := b.pkOf(slot); w != nil {
+		pkSet(w, lane, v)
+		return
+	}
 	b.li[slot][lane] = v & b.t.Masks[slot]
 }
 
@@ -217,12 +282,24 @@ func (b *Batch) PokeInput(lane, idx int, v uint64) {
 // most recent Settle.
 func (b *Batch) PeekOutput(lane, idx int) uint64 { return b.outs[idx*b.lanes+lane] }
 
-// PeekSlot reads any LI coordinate of one lane.
-func (b *Batch) PeekSlot(lane int, slot int32) uint64 { return b.li[slot][lane] }
+// PeekSlot reads any LI coordinate of one lane, routing through the packed
+// layout for 1-bit slots.
+func (b *Batch) PeekSlot(lane int, slot int32) uint64 {
+	if w := b.pkOf(slot); w != nil {
+		return pkGet(w, lane)
+	}
+	return b.li[slot][lane]
+}
 
 // PokeSlot writes any LI coordinate of one lane (host-DUT communication,
-// §6.2), masked to the slot's width.
+// §6.2), masked to the slot's width. Packed 1-bit slots are written in the
+// packed layout, so a DMI poke lands exactly where the next packed settle
+// reads.
 func (b *Batch) PokeSlot(lane int, slot int32, v uint64) {
+	if w := b.pkOf(slot); w != nil {
+		pkSet(w, lane, v)
+		return
+	}
 	b.li[slot][lane] = v & b.t.Masks[slot]
 }
 
@@ -230,6 +307,10 @@ func (b *Batch) PokeSlot(lane int, slot int32, v uint64) {
 func (b *Batch) RegSnapshot(lane int) []uint64 {
 	out := make([]uint64, len(b.t.RegSlots))
 	for i, r := range b.t.RegSlots {
+		if w := b.pkOf(r.Q); w != nil {
+			out[i] = pkGet(w, lane)
+			continue
+		}
 		out[i] = b.li[r.Q][lane]
 	}
 	return out
@@ -257,12 +338,39 @@ func (b *Batch) Step() {
 	runtime.KeepAlive(b)
 }
 
+// syncWideFromPacked refreshes the wide lane vectors of every packed slot
+// from the packed store, making the wide view current before a reference
+// pass. No-op on wide batches.
+func (b *Batch) syncWideFromPacked() {
+	if b.pk == nil {
+		return
+	}
+	for _, slot := range b.sched.packedSlots {
+		unpackLanes(b.li[slot], b.pk[slot])
+	}
+}
+
+// syncPackedFromWide repacks every packed slot from the wide lane vectors
+// after a reference pass wrote them, so interleaved Step/StepReference
+// calls observe one coherent state. No-op on wide batches.
+func (b *Batch) syncPackedFromWide() {
+	if b.pk == nil {
+		return
+	}
+	for _, slot := range b.sched.packedSlots {
+		packLanes(b.pk[slot], b.li[slot])
+	}
+}
+
 // SettleReference evaluates every lane through the pre-schedule scalar tape
 // loop, preserved verbatim: a per-op switch indexing li[slot] per operation,
 // with no operand pre-binding, mask elision, or bounds-check elimination. It
 // is retained as the parity oracle for the fused schedule and as the
-// baseline the BENCH_*.json trajectory measures the fast path against.
+// baseline the BENCH_*.json trajectory measures the fast path against. On a
+// packed batch it runs entirely in the wide view, bracketed by the
+// packed↔wide synchronisation (the oracle is allowed to be slow).
 func (b *Batch) SettleReference() {
+	b.syncWideFromPacked()
 	li := b.li
 	tape := b.sched.tape
 	for k := range tape {
@@ -375,6 +483,7 @@ func (b *Batch) SettleReference() {
 	for i, slot := range b.t.OutputSlots {
 		copy(b.outs[i*lanes:(i+1)*lanes], li[slot])
 	}
+	b.syncPackedFromWide()
 }
 
 // StepReference is SettleReference followed by the staged two-pass register
@@ -394,6 +503,13 @@ func (b *Batch) StepReference() {
 	}
 	for i, r := range b.t.RegSlots {
 		copy(b.li[r.Q], b.next[i*lanes:(i+1)*lanes])
+	}
+	// The commit only moved wide Q values; repack the packed registers so
+	// the packed schedule resumes from the committed state.
+	for _, r := range b.t.RegSlots {
+		if w := b.pkOf(r.Q); w != nil {
+			packLanes(w, b.li[r.Q])
+		}
 	}
 }
 

@@ -1,0 +1,639 @@
+package kernel
+
+import (
+	"math/bits"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/wire"
+)
+
+// The bit-packed half of the batch schedule. Slots the width analysis
+// proves 1-bit (see OneBitSlots) are stored one lane per bit — lane i is
+// bit i of a []uint64 word vector — and the schedule compiler rewrites
+// every instruction touching them:
+//
+//   - Operations whose output and operands are all packed run one word-wide
+//     op per 64 lanes (bitwise logic, 1-bit comparisons, branchless mux and
+//     priority chains on whole words).
+//   - Comparisons and reductions over wide operands produce their packed
+//     boolean directly: the loop accumulates one result bit per lane into a
+//     word and stores 64 lanes at a time (a pack shim with no extra pass).
+//   - A packed select driving a wide mux broadcasts each lane's bit to an
+//     all-ones/all-zeros mask, keeping the wide mux branchless (the unpack
+//     shim).
+//   - Any residual mix compiles to the ordinary wide fused body bracketed by
+//     shims: bpUnpack refreshes the (always-allocated) wide lane view of each
+//     stale packed operand, and bpPack re-packs the result when the output
+//     slot is packed. The schedule compiler tracks wide-view currency per
+//     slot, so a packed value feeding many wide consumers unpacks once per
+//     producer write, not once per use — packing is never a correctness
+//     decision and mixed ops never pay a per-lane gather.
+//
+// Which provably-1-bit slots actually live packed is a profitability
+// decision layered on the width analysis: demotePacking drops slots whose
+// packed residency would only surround wide bodies with shims.
+//
+// Bits of a partial tail word above the lane count are garbage (word-wide
+// NOT sets them, for example). That is safe by construction: every consumer
+// of a packed word either extracts single lane bits or writes whole words
+// it owns, and packed shards split on 64-lane-aligned boundaries so no two
+// workers share a word.
+
+// Packed opcodes continue the batchCode space; bpAnd must stay the first so
+// runOps can route `code >= bpAnd` to execPackedOp.
+const (
+	// All-packed word-wide bodies.
+	bpAnd batchCode = 64 + iota
+	bpOr
+	bpXor
+	bpNot
+	bpEqW
+	bpNeqW
+	bpLtW
+	bpLeqW
+	bpGtW
+	bpGeqW
+	bpCopy // OrR/XorR/Ident of a packed 1-bit operand is the identity
+	bpMux
+	bpMuxChain
+	// Pack shims: wide operands, packed boolean out.
+	bpEqP
+	bpNeqP
+	bpLtP
+	bpLeqP
+	bpGtP
+	bpGeqP
+	bpOrRP
+	bpXorRP
+	bpBitsCP // constant-folded single-bit field extract of a wide operand
+	// Unpack shim: packed select, wide data, wide out.
+	bpMuxSelP
+	bpMuxSelPM
+	// Layout-crossing shims for mixed instructions: refresh a packed slot's
+	// wide lane view / re-pack a wide result into its packed words.
+	bpUnpack
+	bpPack
+)
+
+// demotePacking refines the width-analysis verdict with a profitability
+// pass over the wide schedule. Packing a slot pays when it enables
+// word-wide bodies (64 lanes per op) or word-copy register commits; it
+// costs when it strands the slot in mixed instructions that need unpack and
+// pack shims around an unchanged wide body. Boundary shapes with a
+// dedicated packed loop — comparison/reduction pack shims, the
+// packed-select mux — are cost-neutral: they do the same per-lane work as
+// their wide counterparts with fewer memory touches on the packed side.
+// Slots whose shim cost outweighs their word-wide wins are demoted to the
+// wide layout; each demotion can change neighbouring instructions' shapes,
+// so the pass iterates to a fixed point (termination is guaranteed because
+// slots are only ever removed). On control-dominated designs nearly every
+// 1-bit slot survives; on datapath designs packing retreats to the islands
+// where it actually wins instead of taxing every comparison-feeds-mux pair.
+func demotePacking(insts []batchInst, regs []dfg.RegSlot, packed []bool) {
+	for {
+		gain := make([]int, len(packed))
+		for i := range insts {
+			packGain(gain, &insts[i], packed)
+		}
+		// A register packed on both sides commits by word copy (or stages
+		// packed words): a 64x win for both coordinates.
+		for _, r := range regs {
+			if packed[r.Q] && packed[r.Next] {
+				gain[r.Q]++
+				gain[r.Next]++
+			}
+		}
+		changed := false
+		for slot, p := range packed {
+			if p && gain[slot] < 0 {
+				packed[slot] = false
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// packGain scores one wide-schedule entry's contribution to each packed
+// slot's profitability, mirroring emitPacked's shape classification:
+// word-wide bodies credit every packed slot they touch, dedicated boundary
+// shims are neutral, and the unpack+wide+pack path debits the slots whose
+// packing forces the shims.
+func packGain(gain []int, in *batchInst, packed []bool) {
+	args := in.ext
+	if args == nil {
+		args = in.a[:in.n]
+	}
+	outP := packed[in.out]
+	argP := make([]bool, len(args))
+	anyArg, allArg := false, true
+	for i, a := range args {
+		argP[i] = packed[a]
+		anyArg = anyArg || argP[i]
+		allArg = allArg && argP[i]
+	}
+	if in.code == bcBitsC {
+		switch {
+		case !outP && !argP[0]: // untouched wide entry
+		case outP && !argP[0]: // bpBitsCP, neutral
+		default:
+			if argP[0] {
+				gain[in.a[0]]--
+			}
+			if outP {
+				gain[in.out]--
+			}
+		}
+		return
+	}
+	if !outP && !anyArg {
+		return
+	}
+	if code, ok := packedCode(in, outP, argP, anyArg, allArg); ok {
+		if code <= bpMuxChain { // word-wide body: 64 lanes per op
+			gain[in.out]++
+			for i, a := range args {
+				if argP[i] {
+					gain[a]++
+				}
+			}
+		}
+		return // pack/unpack boundary shims are neutral
+	}
+	if outP {
+		gain[in.out]--
+	}
+	for i, a := range args {
+		if argP[i] {
+			gain[a]--
+		}
+	}
+}
+
+// emitPacked appends the packed-layout compilation of one schedule entry,
+// given the slot classification. Instructions with no packed involvement
+// keep their fused wide code untouched; all-packed and boundary shapes get a
+// dedicated packed body; any other mix compiles to unpack shims + the wide
+// body + an optional pack shim (see emitWide). wideCur tracks, per packed
+// slot, whether its wide lane view currently mirrors the packed words at
+// this point in the schedule.
+func emitPacked(insts []batchInst, in batchInst, packed, wideCur []bool) []batchInst {
+	args := in.ext
+	if args == nil {
+		args = in.a[:in.n]
+	}
+	outP := packed[in.out]
+	argP := make([]bool, len(args))
+	anyArg, allArg := false, true
+	for i, a := range args {
+		argP[i] = packed[a]
+		anyArg = anyArg || argP[i]
+		allArg = allArg && argP[i]
+	}
+	// The folded field extract reads only its shiftee; the hi/lo constant
+	// slots are dead operands and must not be unpacked.
+	if in.code == bcBitsC {
+		switch {
+		case !outP && !argP[0]:
+			return append(insts, in)
+		case outP && !argP[0]:
+			in.code = bpBitsCP
+			in.outP, in.argP, in.extP = true, toArgP(argP), argP
+			wideCur[in.out] = false
+			return append(insts, in)
+		default:
+			return emitWide(insts, in, args[:1], argP[:1], outP, wideCur)
+		}
+	}
+	if !outP && !anyArg {
+		return append(insts, in)
+	}
+	if code, ok := packedCode(&in, outP, argP, anyArg, allArg); ok {
+		in.code = code
+		in.outP, in.argP, in.extP = outP, toArgP(argP), argP
+		if outP {
+			wideCur[in.out] = false // packed bodies write only the packed view
+		}
+		return append(insts, in)
+	}
+	return emitWide(insts, in, args, argP, outP, wideCur)
+}
+
+// packedCode picks a dedicated packed loop body when one exists for this
+// operand/output packing shape: word-wide bodies for all-packed operands,
+// pack shims for all-wide comparisons/reductions with a packed result, and
+// the packed-select mux unpack shim.
+func packedCode(in *batchInst, outP bool, argP []bool, anyArg, allArg bool) (batchCode, bool) {
+	switch in.op {
+	case wire.And:
+		if outP && allArg {
+			return bpAnd, true
+		}
+	case wire.Or:
+		if outP && allArg {
+			return bpOr, true
+		}
+	case wire.Xor:
+		if outP && allArg {
+			return bpXor, true
+		}
+	case wire.Not:
+		if outP && allArg {
+			return bpNot, true
+		}
+	case wire.Eq, wire.AndR:
+		return packCmp(outP, anyArg, allArg, bpEqW, bpEqP)
+	case wire.Neq:
+		return packCmp(outP, anyArg, allArg, bpNeqW, bpNeqP)
+	case wire.Lt:
+		return packCmp(outP, anyArg, allArg, bpLtW, bpLtP)
+	case wire.Leq:
+		return packCmp(outP, anyArg, allArg, bpLeqW, bpLeqP)
+	case wire.Gt:
+		return packCmp(outP, anyArg, allArg, bpGtW, bpGtP)
+	case wire.Geq:
+		return packCmp(outP, anyArg, allArg, bpGeqW, bpGeqP)
+	case wire.OrR:
+		if outP && allArg {
+			return bpCopy, true
+		}
+		if outP && !anyArg {
+			return bpOrRP, true
+		}
+	case wire.XorR:
+		if outP && allArg {
+			return bpCopy, true
+		}
+		if outP && !anyArg {
+			return bpXorRP, true
+		}
+	case wire.Ident:
+		if outP && allArg {
+			return bpCopy, true
+		}
+	case wire.Mux:
+		if outP && allArg {
+			return bpMux, true
+		}
+		if !outP && argP[0] && !argP[1] && !argP[2] {
+			if in.code == bcMuxM {
+				return bpMuxSelPM, true
+			}
+			return bpMuxSelP, true
+		}
+	case wire.MuxChain:
+		if outP && allArg {
+			return bpMuxChain, true
+		}
+	}
+	return 0, false
+}
+
+// packCmp picks the comparison body: word-wide when both 1-bit operands are
+// packed, the pack shim when both are wide. A mix takes the unpack+wide
+// path.
+func packCmp(outP, anyArg, allArg bool, word, shim batchCode) (batchCode, bool) {
+	switch {
+	case outP && allArg:
+		return word, true
+	case outP && !anyArg:
+		return shim, true
+	}
+	return 0, false
+}
+
+// emitWide compiles a mixed packed/wide instruction: bpUnpack shims refresh
+// the wide lane views of packed operands whose view is stale, the unmodified
+// fused wide body runs over lane vectors, and a bpPack shim re-packs the
+// result when the output slot is packed. wideCur deduplicates the unpacks —
+// once refreshed, a slot's wide view stays current until its next packed
+// write, so fan-out to many wide consumers costs one unpack total.
+func emitWide(insts []batchInst, in batchInst, args []int32, argP []bool, outP bool, wideCur []bool) []batchInst {
+	for i, a := range args {
+		if argP[i] && !wideCur[a] {
+			insts = append(insts, batchInst{
+				code: bpUnpack, op: wire.Ident, out: a,
+				a: [3]int32{a}, n: 1, argP: [3]bool{true},
+			})
+			wideCur[a] = true
+		}
+	}
+	insts = append(insts, in) // the wide body, packing-blind
+	if outP {
+		insts = append(insts, batchInst{
+			code: bpPack, op: wire.Ident, out: in.out, outP: true,
+			a: [3]int32{in.out}, n: 1,
+		})
+		wideCur[in.out] = true // the wide view just produced the packed words
+	}
+	return insts
+}
+
+// toArgP folds the per-arg flags into the inline [3]bool mirror of a.
+func toArgP(argP []bool) (p [3]bool) {
+	for i := 0; i < len(argP) && i < 3; i++ {
+		p[i] = argP[i]
+	}
+	return p
+}
+
+// pkView binds slot's packed words covering the [lo,hi) lane sub-range. lo
+// is 64-lane-aligned for every non-empty shard; surplus workers get an
+// empty [hi,hi) range and must bind zero words.
+func pkView(pk [][]uint64, slot int32, lo, hi int) []uint64 {
+	wlo := (lo + 63) >> 6
+	whi := (hi + 63) >> 6
+	if whi < wlo {
+		whi = wlo
+	}
+	return pk[slot][wlo:whi:whi]
+}
+
+// pkGet extracts one lane's bit from a packed word vector.
+func pkGet(w []uint64, lane int) uint64 {
+	return w[lane>>6] >> (uint(lane) & 63) & 1
+}
+
+// pkSet writes one lane's bit (the packed analogue of a masked poke).
+func pkSet(w []uint64, lane int, v uint64) {
+	bit := uint64(1) << (uint(lane) & 63)
+	if v&1 != 0 {
+		w[lane>>6] |= bit
+	} else {
+		w[lane>>6] &^= bit
+	}
+}
+
+// packLanes packs the low bit of each wide lane value into dst words: the
+// pack shim every wide→packed boundary shares (commits, pokes, reference
+// sync). Tail bits above len(src) keep whatever acc left — garbage by
+// contract.
+func packLanes(dst, src []uint64) {
+	var acc uint64
+	for l := 0; l < len(src); l++ {
+		acc |= (src[l] & 1) << (uint(l) & 63)
+		if l&63 == 63 {
+			dst[l>>6] = acc
+			acc = 0
+		}
+	}
+	if n := len(src); n&63 != 0 {
+		dst[(n-1)>>6] = acc
+	}
+}
+
+// unpackLanes scatters packed bits to one wide value per lane, consuming
+// each source word bit-serially so the word load happens once per 64 lanes.
+func unpackLanes(dst, src []uint64) {
+	for base := 0; base < len(dst); base += 64 {
+		w := src[base>>6]
+		end := min(base+64, len(dst))
+		for l := base; l < end; l++ {
+			dst[l] = w & 1
+			w >>= 1
+		}
+	}
+}
+
+// fillPk sets every lane of a packed word vector to v's low bit.
+func fillPk(w []uint64, v uint64) {
+	x := uint64(0)
+	if v&1 != 0 {
+		x = ^uint64(0)
+	}
+	for i := range w {
+		w[i] = x
+	}
+}
+
+// execPackedOp runs one packed loop body. Word-wide cases iterate words
+// (64 lanes per step); shim cases iterate lanes but touch the packed side
+// one word per 64 lanes.
+func execPackedOp(o *boundOp) {
+	out := o.out
+	switch o.code {
+	case bpAnd:
+		x, y := o.x[:len(out)], o.y[:len(out)]
+		for w := range out {
+			out[w] = x[w] & y[w]
+		}
+	case bpOr:
+		x, y := o.x[:len(out)], o.y[:len(out)]
+		for w := range out {
+			out[w] = x[w] | y[w]
+		}
+	case bpXor:
+		x, y := o.x[:len(out)], o.y[:len(out)]
+		for w := range out {
+			out[w] = x[w] ^ y[w]
+		}
+	case bpNot:
+		x := o.x[:len(out)]
+		for w := range out {
+			out[w] = ^x[w]
+		}
+	case bpEqW:
+		x, y := o.x[:len(out)], o.y[:len(out)]
+		for w := range out {
+			out[w] = ^(x[w] ^ y[w])
+		}
+	case bpNeqW:
+		x, y := o.x[:len(out)], o.y[:len(out)]
+		for w := range out {
+			out[w] = x[w] ^ y[w]
+		}
+	case bpLtW:
+		x, y := o.x[:len(out)], o.y[:len(out)]
+		for w := range out {
+			out[w] = ^x[w] & y[w]
+		}
+	case bpLeqW:
+		x, y := o.x[:len(out)], o.y[:len(out)]
+		for w := range out {
+			out[w] = ^x[w] | y[w]
+		}
+	case bpGtW:
+		x, y := o.x[:len(out)], o.y[:len(out)]
+		for w := range out {
+			out[w] = x[w] &^ y[w]
+		}
+	case bpGeqW:
+		x, y := o.x[:len(out)], o.y[:len(out)]
+		for w := range out {
+			out[w] = x[w] | ^y[w]
+		}
+	case bpCopy:
+		copy(out, o.x)
+	case bpMux:
+		s, x, y := o.x[:len(out)], o.y[:len(out)], o.z[:len(out)]
+		for w := range out {
+			out[w] = y[w] ^ s[w]&(x[w]^y[w])
+		}
+	case bpMuxChain:
+		ext := o.ext
+		n := len(ext)
+		dflt := ext[n-1]
+		for w := range out {
+			r := dflt[w]
+			// Walk pairs in reverse so the earliest matching select wins.
+			for i := n - 3; i >= 0; i -= 2 {
+				s, v := ext[i][w], ext[i+1][w]
+				r = r ^ s&(v^r)
+			}
+			out[w] = r
+		}
+	// The six comparison pack shims repeat one accumulate-and-flush body
+	// with the predicate inlined: a closure-driven shared loop costs a call
+	// per lane, which dominated control-light designs.
+	case bpEqP:
+		x, y := o.x[:o.lanes], o.y[:o.lanes]
+		var acc uint64
+		for l := 0; l < len(x); l++ {
+			acc |= b2u(x[l] == y[l]) << (uint(l) & 63)
+			if l&63 == 63 {
+				out[l>>6] = acc
+				acc = 0
+			}
+		}
+		if n := len(x); n&63 != 0 {
+			out[(n-1)>>6] = acc
+		}
+	case bpNeqP:
+		x, y := o.x[:o.lanes], o.y[:o.lanes]
+		var acc uint64
+		for l := 0; l < len(x); l++ {
+			acc |= b2u(x[l] != y[l]) << (uint(l) & 63)
+			if l&63 == 63 {
+				out[l>>6] = acc
+				acc = 0
+			}
+		}
+		if n := len(x); n&63 != 0 {
+			out[(n-1)>>6] = acc
+		}
+	case bpLtP:
+		x, y := o.x[:o.lanes], o.y[:o.lanes]
+		var acc uint64
+		for l := 0; l < len(x); l++ {
+			acc |= b2u(x[l] < y[l]) << (uint(l) & 63)
+			if l&63 == 63 {
+				out[l>>6] = acc
+				acc = 0
+			}
+		}
+		if n := len(x); n&63 != 0 {
+			out[(n-1)>>6] = acc
+		}
+	case bpLeqP:
+		x, y := o.x[:o.lanes], o.y[:o.lanes]
+		var acc uint64
+		for l := 0; l < len(x); l++ {
+			acc |= b2u(x[l] <= y[l]) << (uint(l) & 63)
+			if l&63 == 63 {
+				out[l>>6] = acc
+				acc = 0
+			}
+		}
+		if n := len(x); n&63 != 0 {
+			out[(n-1)>>6] = acc
+		}
+	case bpGtP:
+		x, y := o.x[:o.lanes], o.y[:o.lanes]
+		var acc uint64
+		for l := 0; l < len(x); l++ {
+			acc |= b2u(x[l] > y[l]) << (uint(l) & 63)
+			if l&63 == 63 {
+				out[l>>6] = acc
+				acc = 0
+			}
+		}
+		if n := len(x); n&63 != 0 {
+			out[(n-1)>>6] = acc
+		}
+	case bpGeqP:
+		x, y := o.x[:o.lanes], o.y[:o.lanes]
+		var acc uint64
+		for l := 0; l < len(x); l++ {
+			acc |= b2u(x[l] >= y[l]) << (uint(l) & 63)
+			if l&63 == 63 {
+				out[l>>6] = acc
+				acc = 0
+			}
+		}
+		if n := len(x); n&63 != 0 {
+			out[(n-1)>>6] = acc
+		}
+	case bpOrRP:
+		x := o.x[:o.lanes]
+		var acc uint64
+		for l := 0; l < len(x); l++ {
+			acc |= b2u(x[l] != 0) << (uint(l) & 63)
+			if l&63 == 63 {
+				out[l>>6] = acc
+				acc = 0
+			}
+		}
+		if n := len(x); n&63 != 0 {
+			out[(n-1)>>6] = acc
+		}
+	case bpXorRP:
+		x := o.x[:o.lanes]
+		var acc uint64
+		for l := 0; l < len(x); l++ {
+			acc |= uint64(bits.OnesCount64(x[l])&1) << (uint(l) & 63)
+			if l&63 == 63 {
+				out[l>>6] = acc
+				acc = 0
+			}
+		}
+		if n := len(x); n&63 != 0 {
+			out[(n-1)>>6] = acc
+		}
+	case bpBitsCP:
+		x, sh := o.x[:o.lanes], uint(o.sh)
+		var acc uint64
+		for l := 0; l < len(x); l++ {
+			acc |= (x[l] >> sh & 1) << (uint(l) & 63)
+			if l&63 == 63 {
+				out[l>>6] = acc
+				acc = 0
+			}
+		}
+		if n := len(x); n&63 != 0 {
+			out[(n-1)>>6] = acc
+		}
+	case bpMuxSelP:
+		// Broadcast each lane's packed select bit to an all-ones/all-zeros
+		// mask; the wide mux stays branchless. The select word is loaded
+		// once per 64 lanes and consumed bit-serially.
+		c, x, y := o.x, o.y[:len(out)], o.z[:len(out)]
+		for base := 0; base < len(out); base += 64 {
+			cw := c[base>>6]
+			end := min(base+64, len(out))
+			for l := base; l < end; l++ {
+				sel := -(cw & 1)
+				cw >>= 1
+				out[l] = y[l] ^ sel&(x[l]^y[l])
+			}
+		}
+	case bpMuxSelPM:
+		c, x, y, m := o.x, o.y[:len(out)], o.z[:len(out)], o.mask
+		for base := 0; base < len(out); base += 64 {
+			cw := c[base>>6]
+			end := min(base+64, len(out))
+			for l := base; l < end; l++ {
+				sel := -(cw & 1)
+				cw >>= 1
+				out[l] = (y[l] ^ sel&(x[l]^y[l])) & m
+			}
+		}
+	case bpUnpack:
+		// out is the slot's wide lane view, x its packed words.
+		unpackLanes(out, o.x)
+	case bpPack:
+		// out is the slot's packed words, x its wide lane view.
+		packLanes(out, o.x[:o.lanes])
+	}
+}

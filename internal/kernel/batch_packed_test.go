@@ -1,0 +1,298 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/oim"
+	"rteaal/internal/wire"
+)
+
+// packedBatch instantiates a bit-packed batch over an optimised tensor.
+func packedBatch(t *testing.T, ten *oim.Tensor, lanes, workers int) *Batch {
+	t.Helper()
+	prog, err := NewProgram(ten, Config{Kind: PSU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prog.InstantiateBatchWith(lanes, BatchOptions{Workers: workers, Packing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestOneBitSlots pins the width-analysis verdicts: mask==1 classifies,
+// wider masks don't, and out-of-range constant preloads or register inits
+// demote a slot even when its mask says 1 bit.
+func TestOneBitSlots(t *testing.T) {
+	ten := &oim.Tensor{
+		NumSlots: 5,
+		Masks:    []uint64{1, 255, 1, 1, 1},
+		ConstSlots: []dfg.SlotInit{
+			{Slot: 2, Value: 1}, // in range: stays 1-bit
+			{Slot: 3, Value: 2}, // out of range: demoted
+		},
+		RegSlots: []dfg.RegSlot{
+			{Q: 4, Next: 1, Init: 2, Mask: 1}, // bad init: demoted
+		},
+	}
+	got := OneBitSlots(ten)
+	want := []bool{true, false, true, false, false}
+	for s := range want {
+		if got[s] != want[s] {
+			t.Fatalf("slot %d classified %v, want %v", s, got[s], want[s])
+		}
+	}
+}
+
+// TestBatchPackedMatchesReference pins the bit-packed schedule to the
+// scalar reference loop on random optimised circuits — the same licence the
+// fused schedule earned, now covering the packed loop bodies, the
+// pack/unpack shims, and the packed commit plan.
+func TestBatchPackedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	const lanes, cycles = 5, 8
+	sawPacked := false
+	for trial := 0; trial < 40; trial++ {
+		g := dfg.RandomGraph(rng, dfg.DefaultRandomParams())
+		opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ten := buildTensor(t, opt)
+		packed := packedBatch(t, ten, lanes, 1)
+		sawPacked = sawPacked || packed.Packed()
+		ref, err := NewBatch(ten, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds := laneSeeds(lanes)
+		got := batchTrace(packed, seeds, cycles, nil)
+		want := batchTrace(ref, seeds, cycles, (*Batch).StepReference)
+		for lane := range want {
+			for i := range want[lane] {
+				if got[lane][i] != want[lane][i] {
+					t.Fatalf("trial %d lane %d: packed diverges from reference at trace[%d]: %d != %d",
+						trial, lane, i, got[lane][i], want[lane][i])
+				}
+			}
+		}
+	}
+	if !sawPacked {
+		t.Fatal("no trial produced a packed batch; the corpus lost its 1-bit slots")
+	}
+}
+
+// TestBatchPackedWidePartialWords covers lane counts that straddle word
+// boundaries (1, 63, 64, 65, 130): the partial tail word carries garbage
+// bits above the lane count, which must never leak into any lane's value.
+func TestBatchPackedWidePartialWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(6180))
+	const cycles = 5
+	g := dfg.RandomGraph(rng, dfg.DefaultRandomParams())
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten := buildTensor(t, opt)
+	for _, lanes := range []int{1, 63, 64, 65, 130} {
+		packed := packedBatch(t, ten, lanes, 1)
+		ref, err := NewBatch(ten, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds := laneSeeds(lanes)
+		got := batchTrace(packed, seeds, cycles, nil)
+		want := batchTrace(ref, seeds, cycles, (*Batch).StepReference)
+		for lane := range want {
+			for i := range want[lane] {
+				if got[lane][i] != want[lane][i] {
+					t.Fatalf("lanes %d lane %d: packed diverges at trace[%d]: %d != %d",
+						lanes, lane, i, got[lane][i], want[lane][i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPackedParallelMatchesSequential shards packed batches on
+// 64-lane-aligned word boundaries, including worker counts above the word
+// count (surplus workers own empty ranges but still answer the barrier).
+func TestBatchPackedParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	const cycles = 6
+	for trial := 0; trial < 6; trial++ {
+		g := dfg.RandomGraph(rng, dfg.DefaultRandomParams())
+		opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ten := buildTensor(t, opt)
+		for _, tc := range []struct{ lanes, workers int }{
+			{70, 2}, {70, 3}, {130, 2}, {130, 5}, {4, 3}, {64, 2},
+		} {
+			seeds := laneSeeds(tc.lanes)
+			seq := packedBatch(t, ten, tc.lanes, 1)
+			want := batchTrace(seq, seeds, cycles, nil)
+			par := packedBatch(t, ten, tc.lanes, tc.workers)
+			if got, wantW := par.Workers(), min(tc.workers, tc.lanes); got != wantW {
+				t.Fatalf("lanes %d workers %d: Workers() = %d, want %d",
+					tc.lanes, tc.workers, got, wantW)
+			}
+			got := batchTrace(par, seeds, cycles, nil)
+			par.Close()
+			for lane := range want {
+				for i := range want[lane] {
+					if got[lane][i] != want[lane][i] {
+						t.Fatalf("trial %d lanes %d workers %d lane %d: parallel diverges at trace[%d]: %d != %d",
+							trial, tc.lanes, tc.workers, lane, i, got[lane][i], want[lane][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPackedStepReferenceInterleave alternates the packed fast path
+// with the scalar oracle on one batch: the packed↔wide synchronisation
+// around every reference call must leave one coherent state either way.
+func TestBatchPackedStepReferenceInterleave(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	const lanes, cycles = 5, 10
+	g := dfg.RandomGraph(rng, dfg.DefaultRandomParams())
+	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten := buildTensor(t, opt)
+	packed := packedBatch(t, ten, lanes, 1)
+	ref, err := NewBatch(ten, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	mixed := func(b *Batch) {
+		if step%2 == 0 {
+			b.Step()
+		} else {
+			b.StepReference()
+		}
+		step++
+	}
+	seeds := laneSeeds(lanes)
+	got := batchTrace(packed, seeds, cycles, mixed)
+	want := batchTrace(ref, seeds, cycles, (*Batch).StepReference)
+	for lane := range want {
+		for i := range want[lane] {
+			if got[lane][i] != want[lane][i] {
+				t.Fatalf("lane %d: interleaved packed/reference diverges at trace[%d]: %d != %d",
+					lane, i, got[lane][i], want[lane][i])
+			}
+		}
+	}
+}
+
+// packedToggleGraph is a small control design with named 1-bit state: a
+// toggle register gated by an enable input, driving a wide counter.
+func packedToggleGraph() *dfg.Graph {
+	g := &dfg.Graph{Name: "toggle"}
+	en := g.AddInput("en", 1)
+	tog := g.AddReg("tog", 1, 0)
+	cnt := g.AddReg("cnt", 8, 0)
+	flip := g.AddOp(wire.Xor, 1, tog, en)
+	g.SetRegNext(tog, flip)
+	gate := g.AddOp(wire.And, 1, tog, en)
+	one := g.AddConst(1, 8)
+	sum := g.AddOp(wire.Add, 8, cnt, one)
+	g.SetRegNext(cnt, g.AddOp(wire.Mux, 8, gate, sum, cnt))
+	g.AddOutput("tog_out", tog)
+	g.AddOutput("cnt_out", cnt)
+	return g
+}
+
+// TestBatchPackedPokeSlotMidRun pokes a packed 1-bit register mid-run
+// through the slot-level DMI surface and requires the packed batch to track
+// a wide batch receiving identical pokes — the regression for PokeSlot
+// routing through the packed layout.
+func TestBatchPackedPokeSlotMidRun(t *testing.T) {
+	ten := buildTensor(t, packedToggleGraph())
+	sig, ok := NewSignalMap(ten).Resolve("tog")
+	if !ok {
+		t.Fatal("toggle register not resolvable")
+	}
+	if ten.Masks[sig.Slot] != 1 {
+		t.Fatalf("toggle slot mask = %d, want 1", ten.Masks[sig.Slot])
+	}
+	const lanes = 70 // straddles a word boundary
+	packed := packedBatch(t, ten, lanes, 1)
+	if !packed.Packed() {
+		t.Fatal("toggle design did not pack")
+	}
+	wide, err := NewBatch(ten, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for c := 0; c < 12; c++ {
+		for lane := 0; lane < lanes; lane++ {
+			v := rng.Uint64()
+			packed.PokeInput(lane, 0, v)
+			wide.PokeInput(lane, 0, v)
+		}
+		if c == 4 || c == 9 {
+			// Mid-run DMI poke: flip the packed toggle on a few lanes,
+			// including lanes in the second word.
+			for _, lane := range []int{0, 1, 63, 64, 69} {
+				v := rng.Uint64()
+				packed.PokeSlot(lane, sig.Slot, v)
+				wide.PokeSlot(lane, sig.Slot, v)
+				if got, want := packed.PeekSlot(lane, sig.Slot), v&1; got != want {
+					t.Fatalf("cycle %d lane %d: packed PeekSlot after poke = %d, want %d", c, lane, got, want)
+				}
+			}
+		}
+		packed.Step()
+		wide.Step()
+		for lane := 0; lane < lanes; lane++ {
+			for i := range ten.OutputSlots {
+				if got, want := packed.PeekOutput(lane, i), wide.PeekOutput(lane, i); got != want {
+					t.Fatalf("cycle %d lane %d out %d: packed %d, wide %d", c, lane, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPackedFallsBackWithoutOneBitSlots: a design whose every slot is
+// wide compiles the packing schedule down to the wide one — Packed()
+// reports false and behaviour is identical.
+func TestBatchPackedFallsBackWithoutOneBitSlots(t *testing.T) {
+	g := &dfg.Graph{Name: "wideonly"}
+	a := g.AddInput("a", 8)
+	b := g.AddInput("b", 8)
+	r := g.AddReg("r", 8, 3)
+	sum := g.AddOp(wire.Add, 8, a, b)
+	g.SetRegNext(r, g.AddOp(wire.Xor, 8, sum, r))
+	g.AddOutput("out", r)
+	ten := buildTensor(t, g)
+	pb := packedBatch(t, ten, 4, 1)
+	if pb.Packed() {
+		t.Fatal("all-wide design reported a packed batch")
+	}
+	ref, err := NewBatch(ten, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := laneSeeds(4)
+	got := batchTrace(pb, seeds, 6, nil)
+	want := batchTrace(ref, seeds, 6, (*Batch).StepReference)
+	for lane := range want {
+		for i := range want[lane] {
+			if got[lane][i] != want[lane][i] {
+				t.Fatalf("lane %d: fallback diverges at trace[%d]", lane, i)
+			}
+		}
+	}
+}

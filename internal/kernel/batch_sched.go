@@ -23,6 +23,10 @@ import (
 // The register commit is folded into a single pass when no register's Next
 // coordinate aliases another register's Q coordinate (the only ordering
 // hazard the staged two-pass commit exists for).
+//
+// A schedule compiled with packing additionally stores every provably-1-bit
+// slot one lane per bit and rewrites the instructions over them to
+// word-wide bodies and pack/unpack shims; see batch_packed.go.
 
 // batchCode selects one fused loop body. Codes come in masked (…M) and
 // unmasked pairs where masking is ever needed; comparison and reduction
@@ -79,21 +83,29 @@ const (
 // happens per batch (and per worker shard) in bindOps.
 type batchInst struct {
 	code batchCode
-	op   wire.Op // consulted by bcGeneric only
+	op   wire.Op // consulted by bcGeneric
 	out  int32
 	a    [3]int32
 	n    uint8
 	sh   uint8   // folded constant shift amount (bcBitsC)
 	ext  []int32 // spilled mux-chain operands
 	mask uint64
+	// Packed-layout flags (packing schedules only): whether the output and
+	// each operand bind the bit-packed store instead of the wide lane
+	// vectors. extP mirrors ext for spilled mux chains.
+	outP bool
+	argP [3]bool
+	extP []bool
 }
 
 // commitInst is one register's end-of-cycle update in slot space. masked is
-// false when the settled Next value provably fits the register width.
+// false when the settled Next value provably fits the register width. qp and
+// np flag bit-packed Q/Next slots (packing schedules only).
 type commitInst struct {
 	q, next int32
 	mask    uint64
 	masked  bool
+	qp, np  bool
 }
 
 // batchSchedule is the complete batch-specialised program: the fused
@@ -109,6 +121,14 @@ type batchSchedule struct {
 	// tape is the scalar tape the schedule was compiled from, kept for
 	// [Batch.SettleReference] so reference batches don't rebuild it.
 	tape []tapeOp
+	// packing marks a bit-packed schedule: packed[slot] is the width
+	// analysis verdict (see OneBitSlots) and packedSlots lists the packed
+	// coordinates, which batches use to size and sync the packed store.
+	// packing is false when the design has no provably-1-bit slot at all,
+	// even if requested — the schedule is then identical to the wide one.
+	packing     bool
+	packed      []bool
+	packedSlots []int32
 }
 
 // fitsMask reports whether op's result is guaranteed to fit outMask given
@@ -243,10 +263,13 @@ func fusedCode(op wire.Op, argMasks []uint64, outMask uint64) batchCode {
 
 // buildBatchSchedule compiles the design's TI tape into the batch-specialised
 // schedule: fused opcodes with the mask decision baked in, plus the folded
-// commit plan.
-func buildBatchSchedule(t *oim.Tensor) *batchSchedule {
+// commit plan. With packing, the width-analysis pass classifies every slot,
+// a profitability pass demotes slots whose packing would only force shims
+// around wide bodies, and instructions over the surviving 1-bit slots are
+// rewritten to the packed loop bodies (see batch_packed.go).
+func buildBatchSchedule(t *oim.Tensor, packing bool) *batchSchedule {
 	tape, _ := buildTape(t)
-	s := &batchSchedule{insts: make([]batchInst, 0, len(tape)), tape: tape}
+	s := &batchSchedule{tape: tape}
 
 	// produced marks slots written by tape operations: exactly the slots
 	// whose values are guaranteed masked to their declared width.
@@ -276,6 +299,10 @@ func buildBatchSchedule(t *oim.Tensor) *batchSchedule {
 		delete(constVal, r.Next)
 	}
 
+	// Wide compilation first: the packing passes below consult the fused
+	// codes (the folded field extract in particular) to cost and rewrite
+	// entries, so the wide schedule is the common intermediate form.
+	wide := make([]batchInst, 0, len(tape))
 	var argMasks []uint64
 	for k := range tape {
 		e := &tape[k]
@@ -308,7 +335,40 @@ func buildBatchSchedule(t *oim.Tensor) *batchSchedule {
 				in.mask = wire.Mask(int(hi-lo)+1) & e.mask
 			}
 		}
-		s.insts = append(s.insts, in)
+		wide = append(wide, in)
+	}
+
+	if packing {
+		packed := OneBitSlots(t)
+		demotePacking(wide, t.RegSlots, packed)
+		for slot, p := range packed {
+			if p {
+				s.packedSlots = append(s.packedSlots, int32(slot))
+			}
+		}
+		if len(s.packedSlots) > 0 {
+			s.packing, s.packed = true, packed
+		} else {
+			s.packedSlots = nil
+		}
+	}
+	if s.packing {
+		// wideCur tracks, per packed slot, whether the wide lane view
+		// mirrors the packed words at the current point in the schedule
+		// (see emitWide). At the start of every settle only never-written
+		// constants qualify: Reset fills both views and nothing overwrites
+		// them, while inputs, register Qs and op outputs take packed-only
+		// writes between settles.
+		wideCur := make([]bool, t.NumSlots)
+		for slot := range constVal {
+			wideCur[slot] = true
+		}
+		s.insts = make([]batchInst, 0, len(wide))
+		for _, in := range wide {
+			s.insts = emitPacked(s.insts, in, s.packed, wideCur)
+		}
+	} else {
+		s.insts = wide
 	}
 
 	// Commit plan: a register's `& Mask` is redundant when Next is a tape
@@ -330,6 +390,8 @@ func buildBatchSchedule(t *oim.Tensor) *batchSchedule {
 			next:   r.Next,
 			mask:   r.Mask,
 			masked: !produced[r.Next] || t.Masks[r.Next]&^r.Mask != 0,
+			qp:     s.packing && s.packed[r.Q],
+			np:     s.packing && s.packed[r.Next],
 		})
 	}
 	return s
@@ -337,26 +399,34 @@ func buildBatchSchedule(t *oim.Tensor) *batchSchedule {
 
 // boundOp is one schedule entry bound to a concrete batch's lane vectors
 // (or to one worker's lane sub-range): the hot-loop representation. out, x,
-// y, z alias the batch's SoA backing store.
+// y, z alias the batch's SoA backing store — the wide lane vector for wide
+// slots, the packed word vector for packed slots (flagged per operand, with
+// lanes recording the sub-range width since len(out) is a word count for
+// packed outputs).
 type boundOp struct {
-	code batchCode
-	op   wire.Op
-	n    uint8
-	sh   uint8
-	mask uint64
-	out  []uint64
-	x    []uint64
-	y    []uint64
-	z    []uint64
-	ext  [][]uint64
+	code  batchCode
+	op    wire.Op
+	n     uint8
+	sh    uint8
+	lanes int
+	mask  uint64
+	out   []uint64
+	x     []uint64
+	y     []uint64
+	z     []uint64
+	ext   [][]uint64
 }
 
-// boundCommit is one register update bound to lane vectors.
+// boundCommit is one register update bound to lane vectors. dstP/srcP flag
+// bit-packed sides: packed→packed commits copy words, mixed commits run the
+// pack/unpack shim per lane.
 type boundCommit struct {
-	dst, src []uint64
-	stage    []uint64 // staged buffer sub-range (two-pass commit only)
-	mask     uint64
-	masked   bool
+	dst, src   []uint64
+	stage      []uint64 // wide staged buffer sub-range (two-pass commit only)
+	pkStage    []uint64 // packed staged words (two-pass, both sides packed)
+	mask       uint64
+	masked     bool
+	dstP, srcP bool
 }
 
 // lane binds slot's [lo,hi) lane sub-range. The three-index form pins cap
@@ -366,74 +436,111 @@ func laneView(li [][]uint64, slot int32, lo, hi int) []uint64 {
 }
 
 // bindOps resolves the schedule's slot coordinates against one batch's lane
-// vectors, restricted to the [lo,hi) lane sub-range. The result is private
-// to one executor (the sequential batch or one worker shard).
-func bindOps(s *batchSchedule, li [][]uint64, lo, hi int) []boundOp {
+// vectors (and packed word vectors), restricted to the [lo,hi) lane
+// sub-range. The result is private to one executor (the sequential batch or
+// one worker shard).
+func bindOps(s *batchSchedule, li, pk [][]uint64, lo, hi int) []boundOp {
+	view := func(slot int32, packed bool) []uint64 {
+		if packed {
+			return pkView(pk, slot, lo, hi)
+		}
+		return laneView(li, slot, lo, hi)
+	}
 	ops := make([]boundOp, len(s.insts))
 	for i := range s.insts {
 		in := &s.insts[i]
 		b := &ops[i]
 		b.code, b.op, b.n, b.sh, b.mask = in.code, in.op, in.n, in.sh, in.mask
-		b.out = laneView(li, in.out, lo, hi)
+		b.lanes = hi - lo
+		b.out = view(in.out, in.outP)
 		if in.ext != nil {
 			b.ext = make([][]uint64, len(in.ext))
 			for j, slot := range in.ext {
-				b.ext[j] = laneView(li, slot, lo, hi)
+				b.ext[j] = view(slot, in.extP != nil && in.extP[j])
 			}
 			continue
 		}
 		switch {
 		case in.n >= 3:
-			b.z = laneView(li, in.a[2], lo, hi)
+			b.z = view(in.a[2], in.argP[2])
 			fallthrough
 		case in.n == 2:
-			b.y = laneView(li, in.a[1], lo, hi)
+			b.y = view(in.a[1], in.argP[1])
 			fallthrough
 		case in.n == 1:
-			b.x = laneView(li, in.a[0], lo, hi)
+			b.x = view(in.a[0], in.argP[0])
 		}
-		if in.code == bcMuxChain || in.code == bcMuxChainM {
+		if in.op == wire.MuxChain {
 			// Short chains live inline in a; normalise to ext so the loop
-			// body has one shape.
+			// bodies (wide and packed alike) have one shape.
 			b.ext = make([][]uint64, in.n)
 			for j := 0; j < int(in.n); j++ {
-				b.ext[j] = laneView(li, in.a[j], lo, hi)
+				b.ext[j] = view(in.a[j], in.argP[j])
 			}
 		}
 	}
 	return ops
 }
 
-// bindCommits resolves the commit plan against one batch's lane vectors and
-// its staging buffer for the [lo,hi) lane sub-range.
-func bindCommits(s *batchSchedule, li [][]uint64, next []uint64, lanes, lo, hi int) []boundCommit {
+// bindCommits resolves the commit plan against one batch's lane vectors
+// (and packed word vectors) and its staging buffers for the [lo,hi) lane
+// sub-range. A staged commit whose register is packed on both sides stages
+// packed words directly — the common case in control designs, where shift
+// chains force staging; only the rare mixed commit pays the per-lane
+// pack/unpack shim through the wide staging buffer.
+func bindCommits(s *batchSchedule, li, pk [][]uint64, next, pkNext []uint64, lanes, words, lo, hi int) []boundCommit {
+	view := func(slot int32, packed bool) []uint64 {
+		if packed {
+			return pkView(pk, slot, lo, hi)
+		}
+		return laneView(li, slot, lo, hi)
+	}
+	// The word sub-range matching pkView's lane split: empty tail shards
+	// bind zero words so they never touch a neighbour's partial word.
+	wlo, whi := (lo+63)>>6, (hi+63)>>6
 	cs := make([]boundCommit, len(s.commits))
 	for i := range s.commits {
 		c := &s.commits[i]
 		cs[i] = boundCommit{
-			dst:    laneView(li, c.q, lo, hi),
-			src:    laneView(li, c.next, lo, hi),
+			dst:    view(c.q, c.qp),
+			src:    view(c.next, c.np),
 			mask:   c.mask,
 			masked: c.masked,
+			dstP:   c.qp,
+			srcP:   c.np,
 		}
-		if !s.fusedCommit {
+		if s.fusedCommit {
+			continue
+		}
+		if c.qp && c.np {
+			cs[i].pkStage = pkNext[i*words+wlo : i*words+whi : i*words+whi]
+		} else {
 			cs[i].stage = next[i*lanes+lo : i*lanes+hi : i*lanes+hi]
 		}
 	}
 	return cs
 }
 
-// outBind is one primary output's sampling copy for a lane sub-range.
+// outBind is one primary output's sampling copy for a lane sub-range. The
+// sampled outs array is always wide; packed output slots unpack on sampling
+// so PeekOutput is layout-blind.
 type outBind struct {
 	dst, src []uint64
+	srcP     bool
 }
 
-func bindOuts(t *oim.Tensor, li [][]uint64, outs []uint64, lanes, lo, hi int) []outBind {
+func bindOuts(t *oim.Tensor, s *batchSchedule, li, pk [][]uint64, outs []uint64, lanes, lo, hi int) []outBind {
 	bs := make([]outBind, len(t.OutputSlots))
 	for i, slot := range t.OutputSlots {
+		srcP := s.packing && s.packed[slot]
+		src := laneView(li, slot, lo, hi)
+		if srcP {
+			src = pkView(pk, slot, lo, hi)
+		}
 		bs[i] = outBind{
-			dst: outs[i*lanes+lo : i*lanes+hi : i*lanes+hi],
-			src: laneView(li, slot, lo, hi),
+			dst:  outs[i*lanes+lo : i*lanes+hi : i*lanes+hi],
+			src:  src,
+			srcP: srcP,
 		}
 	}
 	return bs
@@ -445,6 +552,10 @@ func bindOuts(t *oim.Tensor, li [][]uint64, outs []uint64, lanes, lo, hi int) []
 func runOps(ops []boundOp) {
 	for i := range ops {
 		o := &ops[i]
+		if o.code >= bpAnd {
+			execPackedOp(o)
+			continue
+		}
 		out := o.out
 		switch o.code {
 		case bcAdd:
@@ -745,38 +856,66 @@ func runCommits(cs []boundCommit, fused bool) {
 	if fused {
 		for i := range cs {
 			c := &cs[i]
-			dst, src := c.dst, c.src[:len(c.dst)]
-			if c.masked {
-				m := c.mask
+			switch {
+			case c.dstP && c.srcP:
+				copy(c.dst, c.src) // both 1-bit: a word copy needs no mask
+			case c.dstP:
+				packLanes(c.dst, c.src) // register mask is 1; &1 applies it
+			case c.srcP:
+				unpackLanes(c.dst, c.src) // a bit always fits the wide mask
+			case c.masked:
+				dst, src, m := c.dst, c.src[:len(c.dst)], c.mask
 				for l := range dst {
 					dst[l] = src[l] & m
 				}
-			} else {
-				copy(dst, src)
+			default:
+				copy(c.dst, c.src)
 			}
 		}
 		return
 	}
+	// Staged two-pass commit. Registers packed on both sides stage packed
+	// words — no per-lane work at all; mixed registers stage wide, with the
+	// packed side crossing the layout boundary via the pack/unpack shim.
 	for i := range cs {
 		c := &cs[i]
-		stage, src := c.stage, c.src[:len(c.stage)]
-		if c.masked {
-			m := c.mask
+		if c.pkStage != nil {
+			copy(c.pkStage, c.src)
+			continue
+		}
+		stage := c.stage
+		switch {
+		case c.srcP:
+			unpackLanes(stage, c.src)
+		case c.masked:
+			src, m := c.src[:len(stage)], c.mask
 			for l := range stage {
 				stage[l] = src[l] & m
 			}
-		} else {
-			copy(stage, src)
+		default:
+			copy(stage, c.src)
 		}
 	}
 	for i := range cs {
-		copy(cs[i].dst, cs[i].stage)
+		c := &cs[i]
+		switch {
+		case c.pkStage != nil:
+			copy(c.dst, c.pkStage)
+		case c.dstP:
+			packLanes(c.dst, c.stage)
+		default:
+			copy(c.dst, c.stage)
+		}
 	}
 }
 
 // runOuts samples the primary outputs for one lane range.
 func runOuts(bs []outBind) {
 	for i := range bs {
-		copy(bs[i].dst, bs[i].src)
+		if bs[i].srcP {
+			unpackLanes(bs[i].dst, bs[i].src)
+		} else {
+			copy(bs[i].dst, bs[i].src)
+		}
 	}
 }

@@ -180,7 +180,7 @@ func TestBatchCommitAliasing(t *testing.T) {
 	g.SetRegNext(r3, r2)
 	g.AddOutput("out", r3)
 	ten := buildTensor(t, g) // no optimisation: keep the direct aliasing
-	sched := buildBatchSchedule(ten)
+	sched := buildBatchSchedule(ten, false)
 	if sched.fusedCommit {
 		t.Fatal("schedule fused the commit despite Next/Q aliasing")
 	}

@@ -25,11 +25,13 @@ type Program struct {
 	tape      []tapeOp      // SU, TI
 	layerEnds []int         // SU
 
-	// batchSched is the batch-specialised schedule for InstantiateBatch
-	// and InstantiateBatchParallel, compiled lazily once per program and
-	// shared read-only by every batch.
+	// batchSched is the wide batch-specialised schedule and packSched its
+	// bit-packed sibling; each is compiled lazily once per program and
+	// shared read-only by every batch instantiated with that layout.
 	batchOnce  sync.Once
 	batchSched *batchSchedule
+	packOnce   sync.Once
+	packSched  *batchSchedule
 
 	// sigs is the name→slot resolution of the design's signals, built
 	// lazily once per program and shared read-only by every DMI port.
@@ -103,7 +105,38 @@ func (p *Program) InstantiateBatch(lanes int) (*Batch, error) {
 // per cycle. workers is clamped to the lane count; 1 means the sequential
 // in-caller path. Parallel batches should be released with [Batch.Close].
 func (p *Program) InstantiateBatchParallel(lanes, workers int) (*Batch, error) {
-	p.batchOnce.Do(func() { p.batchSched = buildBatchSchedule(p.t) })
+	if workers < 1 {
+		return nil, fmt.Errorf("kernel: batch needs at least 1 worker, got %d", workers)
+	}
+	return p.InstantiateBatchWith(lanes, BatchOptions{Workers: workers})
+}
+
+// BatchOptions configures batch instantiation beyond the lane count.
+type BatchOptions struct {
+	// Workers shards lanes over persistent goroutines; 0 or 1 selects the
+	// sequential in-caller path.
+	Workers int
+	// Packing compiles (once per program) and runs the bit-packed
+	// schedule: provably-1-bit slots (see OneBitSlots, refined by a
+	// profitability pass) are stored one lane per bit and evaluated with
+	// word-wide loop bodies, 64 lanes per op. Designs where no 1-bit slot
+	// survives the analysis fall back to the wide schedule.
+	Packing bool
+}
+
+// InstantiateBatchWith mints a lanes-wide [Batch] with explicit options.
+// Both schedule layouts are compiled lazily once per program, so mixing
+// packed and wide batches of one program stays cheap.
+func (p *Program) InstantiateBatchWith(lanes int, o BatchOptions) (*Batch, error) {
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if o.Packing {
+		p.packOnce.Do(func() { p.packSched = buildBatchSchedule(p.t, true) })
+		return newBatch(p.t, p.packSched, lanes, workers)
+	}
+	p.batchOnce.Do(func() { p.batchSched = buildBatchSchedule(p.t, false) })
 	return newBatch(p.t, p.batchSched, lanes, workers)
 }
 

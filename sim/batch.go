@@ -16,7 +16,9 @@ import (
 // pre-bound to lane vectors, redundant masks elided, bounds checks
 // eliminated — and with [WithBatchWorkers] (or [Design.NewBatchParallel])
 // the lanes shard over persistent worker goroutines, one contiguous lane
-// block per worker, with a single barrier per cycle.
+// block per worker, with a single barrier per cycle. Slots the compiler
+// proves 1-bit wide are additionally bit-packed — lane i is bit i of a word
+// array — so one word-wide op evaluates 64 lanes; see [WithBatchPacking].
 //
 // A Batch is not safe for concurrent method calls; mint one per goroutine
 // or put sessions behind a [Pool] instead.
@@ -35,6 +37,12 @@ func (b *Batch) Lanes() int { return b.b.Lanes() }
 // Workers reports how many persistent lane workers the batch runs on
 // (1 = the sequential in-caller path); see [WithBatchWorkers].
 func (b *Batch) Workers() int { return b.b.Workers() }
+
+// Packed reports whether the batch runs the bit-packed layout: true when
+// the design was compiled with packing enabled (the default, see
+// [WithBatchPacking]) and its width analysis proved at least one slot
+// 1-bit wide.
+func (b *Batch) Packed() bool { return b.b.Packed() }
 
 // Close stops a parallel batch's worker goroutines. Optional — an
 // unreachable batch is cleaned up by the garbage collector — but

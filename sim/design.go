@@ -21,6 +21,7 @@ type config struct {
 	partitions   int               // 0 = unpartitioned
 	strategy     PartitionStrategy // zero value = MinCut
 	batchWorkers int               // 0 = one worker (sequential batches)
+	batchPacking bool              // bit-pack 1-bit slots in batches
 }
 
 // Option configures compilation. Options are applied in order; later options
@@ -93,6 +94,19 @@ func WithBatchWorkers(n int) Option {
 	}
 }
 
+// WithBatchPacking toggles the bit-packed batch layout (on by default):
+// every LI slot the width analysis proves 1-bit wide is stored one lane per
+// bit of a word array, so And/Or/Xor/Not/Mux and comparison results over
+// such slots evaluate 64 lanes per machine word. Lanes still produce
+// exactly the trace a dedicated [Session] would — packing is a layout
+// change, not a semantics change — and designs without any provably-1-bit
+// slot fall back to the wide layout automatically. Pass false to force the
+// wide structure-of-arrays layout everywhere, the debugging off-switch when
+// bisecting a batch divergence.
+func WithBatchPacking(on bool) Option {
+	return func(c *config) { c.batchPacking = on }
+}
+
 // Design is an immutable compiled design: the optimized dataflow graph, the
 // OIM tensor, and the kernel program lowered for the selected configuration.
 // All simulation state lives in the [Session] and [Batch] values a design
@@ -131,7 +145,7 @@ func Compile(src string, opts ...Option) (*Design, error) {
 // CompileGraph compiles an already-built dataflow graph. The input graph is
 // not modified; the design keeps its own optimized copy.
 func CompileGraph(g *dfg.Graph, opts ...Option) (*Design, error) {
-	cfg := config{kernel: PSU, passes: DefaultOptPasses()}
+	cfg := config{kernel: PSU, passes: DefaultOptPasses(), batchPacking: true}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -379,7 +393,10 @@ func (d *Design) NewBatchParallel(n, workers int) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := prog.InstantiateBatchParallel(n, workers)
+	b, err := prog.InstantiateBatchWith(n, kernel.BatchOptions{
+		Workers: workers,
+		Packing: d.cfg.batchPacking,
+	})
 	if err != nil {
 		return nil, err
 	}

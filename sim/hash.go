@@ -20,7 +20,7 @@ import (
 // The hash is computed without compiling; invalid options surface when the
 // source is actually compiled, not here.
 func SourceHash(src string, opts ...Option) string {
-	cfg := config{kernel: PSU, passes: DefaultOptPasses()}
+	cfg := config{kernel: PSU, passes: DefaultOptPasses(), batchPacking: true}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -34,7 +34,7 @@ func SourceHash(src string, opts ...Option) string {
 		cfg.passes.MuxChainFuse, cfg.passes.DCE, cfg.passes.SweepRegs)
 	fmt.Fprintf(h, "waveform=%t\nunoptFormat=%t\n", cfg.waveform, cfg.unoptFormat)
 	fmt.Fprintf(h, "partitions=%d\nstrategy=%s\n", cfg.partitions, cfg.strategy)
-	fmt.Fprintf(h, "batchWorkers=%d\n--\n", cfg.batchWorkers)
+	fmt.Fprintf(h, "batchWorkers=%d\nbatchPacking=%t\n--\n", cfg.batchWorkers, cfg.batchPacking)
 	h.Write([]byte(normalizeSource(src)))
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -47,11 +47,15 @@ func TestSourceHashOptionSensitivity(t *testing.T) {
 	if got := sim.SourceHash(counterSrc, sim.WithKernel(sim.PSU)); got != base {
 		t.Errorf("explicit default kernel forked the hash")
 	}
+	if got := sim.SourceHash(counterSrc, sim.WithBatchPacking(true)); got != base {
+		t.Errorf("explicit default batch packing forked the hash")
+	}
 	forks := map[string]string{
 		"kernel":       sim.SourceHash(counterSrc, sim.WithKernel(sim.TI)),
 		"partitions":   sim.SourceHash(counterSrc, sim.WithPartitions(3)),
 		"strategy":     sim.SourceHash(counterSrc, sim.WithPartitions(3), sim.WithPartitionStrategy(sim.RoundRobin)),
 		"batchWorkers": sim.SourceHash(counterSrc, sim.WithBatchWorkers(4)),
+		"batchPacking": sim.SourceHash(counterSrc, sim.WithBatchPacking(false)),
 		"waveform":     sim.SourceHash(counterSrc, sim.WithWaveform()),
 		"unoptFormat":  sim.SourceHash(counterSrc, sim.WithUnoptimizedFormat()),
 		"passes":       sim.SourceHash(counterSrc, sim.WithOptPasses(sim.OptPasses{})),
