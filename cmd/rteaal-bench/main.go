@@ -21,7 +21,11 @@
 // partition count across the benchmark designs. "serve" drives a loopback
 // instance of the HTTP session service (internal/server) through
 // sim/client at command-batch sizes 1/16/256, reporting requests/s and
-// delivered cycles/s against the in-process testbench rate.
+// delivered cycles/s against the in-process testbench rate. "amortise" is
+// the bulk-run dispatch study: cycles/s versus the Run(k) chunk size
+// k ∈ {1, 16, 256, 4096} on the lane-sharded batch (fused and packed,
+// workers 1/2/4) and the partitioned engine (2/4 parts), isolating
+// per-cycle dispatch overhead from simulation work.
 //
 // With -json <path>, every experiment's results are additionally emitted
 // as one machine-readable document: {experiment, design, metric, value,
@@ -77,6 +81,7 @@ func main() {
 		"partitions":        func() error { return partitionScaling(c) },
 		"partition-quality": func() error { return bench.PartitionQuality(os.Stdout, c) },
 		"serve":             func() error { return bench.Serve(os.Stdout, c) },
+		"amortise":          func() error { return bench.AmortiseSweep(os.Stdout, c) },
 	}
 
 	args := flag.Args()
@@ -93,7 +98,7 @@ func main() {
 		}
 		f, ok := experiments[name]
 		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, workloads, batch, partitions, partition-quality, serve, all)", name))
+			fatal(fmt.Errorf("unknown experiment %q (try table1..table7, figure7..figure21, throughput, workloads, batch, partitions, partition-quality, serve, amortise, all)", name))
 		}
 		if err := f(); err != nil {
 			fatal(err)

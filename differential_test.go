@@ -37,9 +37,24 @@ type diffEngine struct {
 	outputs int
 	poke    func(lane, input int, v uint64)
 	step    func() error
+	run     func(n int64) error // bulk run; nil falls back to a step loop
 	out     func(lane, idx int) uint64
 	regs    func(lane int) []uint64
 	close   func()
+}
+
+// runBulk advances the engine n cycles through its bulk surface, or a
+// per-cycle step loop when it has none.
+func (e *diffEngine) runBulk(n int64) error {
+	if e.run != nil {
+		return e.run(n)
+	}
+	for i := int64(0); i < n; i++ {
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // diffParams shapes the random designs; moderate sizes keep the whole
@@ -82,6 +97,7 @@ func diffEngines(t *testing.T, seed int64) ([]diffEngine, int) {
 			outputs: len(d.Outputs()),
 			poke:    func(_, input int, v uint64) { s.PokeIndex(input, v) },
 			step:    s.Step,
+			run:     s.Run,
 			out:     func(_, idx int) uint64 { return s.PeekIndex(idx) },
 			regs:    func(int) []uint64 { return s.Registers() },
 			close:   s.Close,
@@ -103,6 +119,7 @@ func diffEngines(t *testing.T, seed int64) ([]diffEngine, int) {
 			outputs: len(d.Outputs()),
 			poke:    func(lane, input int, v uint64) { b.PokeIndex(lane, input, v) },
 			step:    func() error { b.Step(); return nil },
+			run:     func(n int64) error { b.Run(n); return nil },
 			out:     func(lane, idx int) uint64 { return b.PeekIndex(lane, idx) },
 			regs:    func(lane int) []uint64 { return b.Registers(lane) },
 			close:   b.Close,
@@ -148,6 +165,77 @@ func diffEngines(t *testing.T, seed int64) ([]diffEngine, int) {
 		close:   func() {},
 	})
 	return engines, inputs
+}
+
+// TestDifferentialBulkRun is the Run(k)-vs-k×Step leg: for each seed,
+// every engine shape is instantiated twice over the same design — one copy
+// advanced in bulk-run chunks (including k=0 and k=1 degenerate chunks),
+// one stepped cycle by cycle — with identical stimulus applied at chunk
+// boundaries and held across each chunk. States observed at the boundaries
+// must match pairwise per shape AND across shapes, so the resident run
+// loops (batch free-run, partitioned barrier loop, session funnel) are
+// pinned both to their own per-cycle path and to each other.
+func TestDifferentialBulkRun(t *testing.T) {
+	chunks := []int64{1, 3, 0, 5, 2, 7, 4}
+	for seed := int64(0); seed < diffSeeds; seed += 3 {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			bulk, inputs := diffEngines(t, seed)
+			step, _ := diffEngines(t, seed)
+			defer func() {
+				for _, e := range bulk {
+					e.close()
+				}
+				for _, e := range step {
+					e.close()
+				}
+			}()
+			stim := testbench.Random(seed*17 + 3)
+			for ci, k := range chunks {
+				var refState []uint64
+				for i := range bulk {
+					b, s := &bulk[i], &step[i]
+					for lane := 0; lane < b.lanes; lane++ {
+						for in := 0; in < inputs; in++ {
+							v := stim.Value(int64(ci), lane, in)
+							b.poke(lane, in, v)
+							s.poke(lane, in, v)
+						}
+					}
+					if err := b.runBulk(k); err != nil {
+						t.Fatalf("%s: run(%d): %v\n%s", b.name, k, err, reproLine(seed))
+					}
+					for c := int64(0); c < k; c++ {
+						if err := s.step(); err != nil {
+							t.Fatalf("%s: step: %v\n%s", s.name, err, reproLine(seed))
+						}
+					}
+					var bState, sState []uint64
+					for lane := 0; lane < b.lanes; lane++ {
+						for idx := 0; idx < b.outputs; idx++ {
+							bState = append(bState, b.out(lane, idx))
+							sState = append(sState, s.out(lane, idx))
+						}
+						bState = append(bState, b.regs(lane)...)
+						sState = append(sState, s.regs(lane)...)
+					}
+					if !slices.Equal(bState, sState) {
+						t.Fatalf("%s: bulk chunk %d (k=%d) diverges from %d single steps\n%s",
+							b.name, ci, k, k, reproLine(seed))
+					}
+					// Cross-shape: lane 0 of every bulk engine agrees.
+					lane0 := bState[:b.outputs]
+					lane0 = append(lane0, b.regs(0)...)
+					if refState == nil {
+						refState = lane0
+					} else if !slices.Equal(lane0, refState) {
+						t.Fatalf("%s: bulk lane 0 diverges from %s at chunk %d\n%s",
+							b.name, bulk[0].name, ci, reproLine(seed))
+					}
+				}
+			}
+		})
+	}
 }
 
 // TestDifferentialCrossEngine is the harness: for each seed, every engine

@@ -10,13 +10,19 @@ import (
 // Result is one machine-readable data point of an experiment run: the
 // experiment that produced it, the design it measured, and a named metric
 // with its unit. The stream of results an invocation produces is the
-// BENCH_*.json perf trajectory committed PR-over-PR.
+// BENCH_*.json perf trajectory committed PR-over-PR. Every row carries the
+// host parallelism it was measured under (GoMaxProcs/NumCPU/GoArch), so a
+// scaling number is self-describing — the recurring "single-CPU host"
+// caveat is recorded fact on the row itself, not a README footnote.
 type Result struct {
 	Experiment string  `json:"experiment"`
 	Design     string  `json:"design,omitempty"`
 	Metric     string  `json:"metric"`
 	Value      float64 `json:"value"`
 	Unit       string  `json:"unit,omitempty"`
+	GoMaxProcs int     `json:"go_max_procs"`
+	NumCPU     int     `json:"num_cpu"`
+	GoArch     string  `json:"go_arch"`
 }
 
 // Recorder accumulates results across experiments. A nil *Recorder is a
@@ -43,6 +49,9 @@ func (r *Recorder) Add(experiment, design, metric string, value float64, unit st
 		Metric:     metric,
 		Value:      value,
 		Unit:       unit,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoArch:     runtime.GOARCH,
 	})
 }
 

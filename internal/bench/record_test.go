@@ -34,6 +34,13 @@ func TestRecorderCollectsAndSerialises(t *testing.T) {
 	if len(doc.Results) != 2 || doc.Results[0].Metric != "fused_speedup_vs_scalar" {
 		t.Errorf("results round-trip mismatch: %+v", doc.Results)
 	}
+	// Every row is self-describing: the host parallelism it was measured
+	// under rides on the row, not just the document header.
+	for _, res := range doc.Results {
+		if res.GoMaxProcs < 1 || res.NumCPU < 1 || res.GoArch == "" {
+			t.Errorf("row missing host metadata: %+v", res)
+		}
+	}
 }
 
 func TestNilRecorderIsValidSink(t *testing.T) {

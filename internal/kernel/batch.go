@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rteaal/internal/oim"
 	"rteaal/internal/wire"
@@ -65,38 +66,136 @@ type Batch struct {
 	cmds   []chan batchCmd
 	done   chan struct{}
 	stop   sync.Once
+	closed bool
 }
 
-// batchCmd is one phase of the worker protocol.
-type batchCmd uint8
+// batchPhase selects what a worker executes per dispatch.
+type batchPhase uint8
 
 const (
-	batchSettle batchCmd = iota // run schedule + sample outputs
-	batchStep                   // schedule + sample + register commit
+	batchSettle batchPhase = iota // run schedule + sample outputs
+	batchStep                     // schedule + sample + register commit
+	batchRun                      // k full cycles, resident in the worker
 )
 
+// batchCmd is one dispatch of the worker protocol. A batchRun command
+// carries everything the worker needs for k resident cycles: its
+// shard-filtered poke plan and, when a watch forces locked-step execution,
+// the shared run synchronisation state. Unwatched runs carry no sync — the
+// lanes are independent, so each worker free-runs its k cycles with zero
+// intermediate synchronisation.
+type batchCmd struct {
+	phase batchPhase
+	k     int
+	pokes []PlannedPoke // shard-local, ordered by Cycle
+	sync  *batchSync    // nil: free-run
+}
+
+// batchSync is the shared state of one watched (locked-step) parallel run:
+// a per-cycle barrier plus the first cycle index the watch accepted,
+// published by the watching shard's worker before the barrier and read by
+// every worker after it.
+type batchSync struct {
+	bar   Barrier
+	watch *Watch
+	stop  atomic.Int64
+}
+
 // batchShard is the slice of a batch one worker owns: the schedule bound to
-// a contiguous lane sub-range. Lanes are independent, so shards share no
-// mutable state.
+// a contiguous lane sub-range, plus views of the shared stores so the
+// worker can apply planned pokes and evaluate watches for its own lanes.
+// Lanes are independent, so shards share no mutable state (the store views
+// overlap only on lanes outside every other shard's range). Shards
+// reference the backing slices, never the Batch, keeping the finalizer
+// teardown sound.
 type batchShard struct {
 	ops         []boundOp
 	commits     []boundCommit
 	outB        []outBind
 	fusedCommit bool
+
+	lo, hi int        // owned lane range
+	lanes  int        // full batch width (outs stride)
+	li     [][]uint64 // full-batch lane vectors (poke/watch access)
+	pk     [][]uint64 // packed store, nil per wide slot / wide batch
+	masks  []uint64
+	outs   []uint64
 }
 
-func (sh *batchShard) run(c batchCmd) {
+func (sh *batchShard) run(c batchPhase) {
 	runOps(sh.ops)
 	runOuts(sh.outB)
-	if c == batchStep {
+	if c != batchSettle {
 		runCommits(sh.commits, sh.fusedCommit)
 	}
+}
+
+// poke applies one planned poke to the shard's stores (the lane is the
+// caller's responsibility to route).
+func (sh *batchShard) poke(p PlannedPoke) {
+	if sh.pk != nil {
+		if w := sh.pk[p.Slot]; w != nil {
+			pkSet(w, p.Lane, p.Value)
+			return
+		}
+	}
+	sh.li[p.Slot][p.Lane] = p.Value & sh.masks[p.Slot]
+}
+
+// owns reports whether the watched lane falls in this shard's range.
+func (sh *batchShard) owns(lane int) bool { return lane >= sh.lo && lane < sh.hi }
+
+// watchValue samples the watched value from the shard's stores: primary
+// outputs from the settle-sampled outs (an output slot may alias a register
+// Q whose LI value moves at commit), everything else from the LI store.
+func (sh *batchShard) watchValue(w *Watch) uint64 {
+	if w.OutIdx >= 0 {
+		return sh.outs[w.OutIdx*sh.lanes+w.Lane]
+	}
+	if sh.pk != nil {
+		if p := sh.pk[w.Slot]; p != nil {
+			return pkGet(p, w.Lane)
+		}
+	}
+	return sh.li[w.Slot][w.Lane]
+}
+
+// runBulk is the resident k-cycle loop of one shard: apply the cycle's
+// pokes, run the schedule, and — under a watch — evaluate it and cross the
+// per-cycle barrier so every shard stops at the same cycle. Without a watch
+// there is no intermediate synchronisation at all.
+func (sh *batchShard) runBulk(k int, pokes []PlannedPoke, sync *batchSync) int {
+	pi := 0
+	ran := 0
+	for i := 0; i < k; i++ {
+		for pi < len(pokes) && pokes[pi].Cycle <= i {
+			sh.poke(pokes[pi])
+			pi++
+		}
+		sh.run(batchStep)
+		ran++
+		if sync == nil {
+			continue
+		}
+		if w := sync.watch; w != nil && sh.owns(w.Lane) && w.Accepts(sh.watchValue(w)) {
+			sync.stop.Store(int64(i))
+		}
+		sync.bar.Await()
+		if sync.stop.Load() <= int64(i) {
+			break
+		}
+	}
+	return ran
 }
 
 // batchWorker is the persistent loop of one lane shard.
 func batchWorker(sh *batchShard, cmds <-chan batchCmd, done chan<- struct{}) {
 	for c := range cmds {
-		sh.run(c)
+		if c.phase == batchRun {
+			sh.runBulk(c.k, c.pokes, c.sync)
+		} else {
+			sh.run(c.phase)
+		}
 		done <- struct{}{}
 	}
 }
@@ -150,6 +249,13 @@ func newBatch(t *oim.Tensor, sched *batchSchedule, lanes, workers int) (*Batch, 
 			commits:     bindCommits(sched, b.li, b.pk, b.next, b.pkNext, lanes, b.words, lo, hi),
 			outB:        bindOuts(t, sched, b.li, b.pk, b.outs, lanes, lo, hi),
 			fusedCommit: sched.fusedCommit,
+			lo:          lo,
+			hi:          hi,
+			lanes:       lanes,
+			li:          b.li,
+			pk:          b.pk,
+			masks:       t.Masks,
+			outs:        b.outs,
 		}
 	}
 	if workers == 1 {
@@ -204,8 +310,10 @@ func (b *Batch) Tensor() *oim.Tensor { return b.t }
 
 // Close stops a parallel batch's worker goroutines. Optional — an
 // unreachable batch is cleaned up by the garbage collector — but
-// deterministic. The batch must not be stepped afterwards.
+// deterministic. The batch must not be stepped afterwards: Step and Run
+// panic on a closed batch.
 func (b *Batch) Close() {
+	b.closed = true
 	b.shutdown()
 	runtime.SetFinalizer(b, nil)
 }
@@ -218,10 +326,10 @@ func (b *Batch) shutdown() {
 	})
 }
 
-// broadcast issues one command to every worker and waits for the barrier.
-func (b *Batch) broadcast(c batchCmd) {
+// broadcast issues one command to every worker and waits for the join.
+func (b *Batch) broadcast(c batchPhase) {
 	for _, w := range b.cmds {
-		w <- c
+		w <- batchCmd{phase: c}
 	}
 	for range b.cmds {
 		<-b.done
@@ -328,14 +436,72 @@ func (b *Batch) Settle() {
 }
 
 // Step runs Settle followed by the simultaneous register commit of every
-// lane.
-func (b *Batch) Step() {
-	if b.seq != nil {
-		b.seq.run(batchStep)
-		return
+// lane. It is exactly [Batch.Run] of one cycle.
+func (b *Batch) Step() { b.Run(1) }
+
+// Run advances every lane k cycles with one command dispatch and one join
+// in total: each worker loops its full schedule k times over its own lane
+// block with zero intermediate synchronisation (lanes are independent), so
+// the per-cycle dispatch cost of Step amortises over k. Run(k) is
+// bit-identical to k calls of Step; Run(0) is a no-op. It panics after
+// [Batch.Close].
+func (b *Batch) Run(k int) { b.RunBulk(RunSpec{Cycles: k}) }
+
+// RunCycles implements [BulkRunner]; it is Run.
+func (b *Batch) RunCycles(k int) { b.Run(k) }
+
+// RunBulk advances up to spec.Cycles cycles inside the workers' resident
+// run loops, applying the scheduled pokes at their cycles and stopping
+// early when the watch accepts (see [RunSpec]). It returns the completed
+// cycle count and whether the watch stopped the run. A watched parallel
+// run executes in locked step — one barrier per cycle, so every lane stops
+// at the same cycle the watch accepted — while an unwatched run stays
+// synchronisation-free between dispatch and join.
+func (b *Batch) RunBulk(spec RunSpec) (ran int, stopped bool) {
+	if b.closed {
+		panic("kernel: batch used after Close")
 	}
-	b.broadcast(batchStep)
-	runtime.KeepAlive(b)
+	k := spec.Cycles
+	if k <= 0 {
+		return 0, false
+	}
+	pokes := sortedPokes(spec.Pokes)
+	var sync *batchSync
+	if spec.Watch != nil {
+		sync = &batchSync{watch: spec.Watch}
+		sync.stop.Store(int64(k))
+		sync.bar.Init(max(len(b.cmds), 1))
+	}
+	if b.seq != nil {
+		b.seq.runBulk(k, pokes, sync)
+	} else {
+		for w, c := range b.cmds {
+			c <- batchCmd{phase: batchRun, k: k, pokes: shardPokes(pokes, b.shards[w]), sync: sync}
+		}
+		for range b.cmds {
+			<-b.done
+		}
+		runtime.KeepAlive(b)
+	}
+	if sync != nil {
+		if at := sync.stop.Load(); at < int64(k) {
+			return int(at) + 1, true
+		}
+	}
+	return k, false
+}
+
+// shardPokes filters a cycle-ordered poke plan down to one shard's lanes.
+// A nil result (no pokes for the shard) avoids any per-worker allocation on
+// the plain Run path.
+func shardPokes(pokes []PlannedPoke, sh *batchShard) []PlannedPoke {
+	var out []PlannedPoke
+	for _, p := range pokes {
+		if sh.owns(p.Lane) {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // syncWideFromPacked refreshes the wide lane vectors of every packed slot

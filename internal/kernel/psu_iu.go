@@ -131,6 +131,13 @@ func (e *psuEngine) Step() {
 	e.commit()
 }
 
+// RunCycles advances k cycles in one devirtualised loop (kernel.BulkRunner).
+func (e *psuEngine) RunCycles(k int) {
+	for i := 0; i < k; i++ {
+		e.Step()
+	}
+}
+
 // iuEngine fully unrolls the I rank on top of PSU's S-unrolling: the layer
 // structure is compiled into a segment plan at construction, so the settle
 // loop never visits a (layer, type) group with zero operations (§5.2 IU).
@@ -191,4 +198,11 @@ func (e *iuEngine) Settle() {
 func (e *iuEngine) Step() {
 	e.Settle()
 	e.commit()
+}
+
+// RunCycles advances k cycles in one devirtualised loop (kernel.BulkRunner).
+func (e *iuEngine) RunCycles(k int) {
+	for i := 0; i < k; i++ {
+		e.Step()
+	}
 }

@@ -1,0 +1,165 @@
+package repcut
+
+import (
+	"math/rand"
+	"testing"
+
+	"rteaal/internal/dfg"
+	"rteaal/internal/kernel"
+	"rteaal/internal/wire"
+)
+
+// bulkCounterGraph builds the deterministic two-register design of the
+// bulk tests: two accumulators over independent inputs (so a 2-partition
+// plan cuts cleanly between them), count' = count + step per partition.
+func bulkCounterGraph() *dfg.Graph {
+	g := &dfg.Graph{Name: "bulkpair"}
+	inA := g.AddInput("stepA", 8)
+	inB := g.AddInput("stepB", 8)
+	a := g.AddReg("a", 8, 0)
+	b := g.AddReg("b", 8, 0)
+	g.SetRegNext(a, g.AddOp(wire.Add, 8, a, inA))
+	g.SetRegNext(b, g.AddOp(wire.Add, 8, b, inB))
+	g.AddOutput("countA", a)
+	g.AddOutput("countB", b)
+	return g
+}
+
+// TestInstanceRunCyclesMatchesStep drives two identical partitioned
+// instances — one through RunCycles(k) chunks, one through k single Steps —
+// with fresh pokes between every chunk: the resident run loop with its
+// atomic barrier and double-buffered RUM exchange must leave chunk
+// boundaries invisible, including RunCycles(0) no-ops and interleaved
+// single Steps after a bulk run.
+func TestInstanceRunCyclesMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1123))
+	chunks := []int{1, 4, 0, 6, 2, 9, 3}
+	for trial := 0; trial < 6; trial++ {
+		g := dfg.RandomGraph(rng, dfg.RandomParams{
+			Inputs: 4, Regs: 9, Ops: 120, Consts: 5, MaxWidth: 16, MuxBias: 0.3})
+		opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ten := build(t, opt)
+		for _, parts := range []int{2, 3} {
+			_, bulk := instantiate(t, ten, parts, kernel.PSU)
+			_, step := instantiate(t, ten, parts, kernel.PSU)
+			stim := rand.New(rand.NewSource(int64(trial)*13 + 7))
+			for ci, k := range chunks {
+				for i := range ten.InputSlots {
+					v := stim.Uint64()
+					bulk.PokeInput(i, v)
+					step.PokeInput(i, v)
+				}
+				bulk.RunCycles(k)
+				for c := 0; c < k; c++ {
+					step.Step()
+				}
+				// An interleaved single Step exercises the inter-run
+				// invariant the epilogue pull maintains.
+				bulk.Step()
+				step.Step()
+				br, sr := bulk.RegSnapshot(), step.RegSnapshot()
+				for i := range sr {
+					if br[i] != sr[i] {
+						t.Fatalf("trial %d parts %d chunk %d (k=%d): reg[%d] = %d, want %d",
+							trial, parts, ci, k, i, br[i], sr[i])
+					}
+				}
+				for i := range ten.OutputSlots {
+					if bulk.PeekOutput(i) != step.PeekOutput(i) {
+						t.Fatalf("trial %d parts %d chunk %d (k=%d): output %d diverges",
+							trial, parts, ci, k, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInstanceRunBulkPokePlan runs a scheduled poke plan inside one
+// resident run and checks it against poking by hand between single steps
+// on a second instance — the plan must be routed to exactly the partitions
+// that read each slot.
+func TestInstanceRunBulkPokePlan(t *testing.T) {
+	ten := build(t, bulkCounterGraph())
+	const cycles = 10
+	slotA, slotB := ten.InputSlots[0], ten.InputSlots[1]
+	plan := []kernel.PlannedPoke{
+		{Cycle: 0, Slot: slotA, Value: 1},
+		{Cycle: 0, Slot: slotB, Value: 2},
+		{Cycle: 4, Slot: slotA, Value: 10},
+		{Cycle: 7, Slot: slotB, Value: 0},
+	}
+	for _, parts := range []int{2, 3} {
+		_, bulk := instantiate(t, ten, parts, kernel.PSU)
+		_, ref := instantiate(t, ten, parts, kernel.PSU)
+		ran, stopped := bulk.RunBulk(kernel.RunSpec{Cycles: cycles, Pokes: plan})
+		if ran != cycles || stopped {
+			t.Fatalf("parts %d: RunBulk = (%d,%v), want (%d,false)", parts, ran, stopped, cycles)
+		}
+		pi := 0
+		for i := 0; i < cycles; i++ {
+			for pi < len(plan) && plan[pi].Cycle <= i {
+				ref.PokeSlot(plan[pi].Slot, plan[pi].Value)
+				pi++
+			}
+			ref.Step()
+		}
+		br, rr := bulk.RegSnapshot(), ref.RegSnapshot()
+		for i := range rr {
+			if br[i] != rr[i] {
+				t.Fatalf("parts %d: reg[%d] = %d, want %d", parts, i, br[i], rr[i])
+			}
+		}
+		for i := range ten.OutputSlots {
+			if bulk.PeekOutput(i) != ref.PeekOutput(i) {
+				t.Fatalf("parts %d: output %d diverges", parts, i)
+			}
+		}
+	}
+}
+
+// TestInstanceRunBulkWatchStops pins the partitioned early-stop contract:
+// the watch is evaluated by the partition owning the watched coordinate,
+// every partition stops at the accepting cycle, and a watch accepting on
+// the final cycle still reports stopped.
+func TestInstanceRunBulkWatchStops(t *testing.T) {
+	ten := build(t, bulkCounterGraph())
+	for _, parts := range []int{2, 3} {
+		for _, tc := range []struct {
+			name        string
+			cycles      int
+			accept      uint64
+			wantRan     int
+			wantStopped bool
+		}{
+			// Output countB samples at settle, before that cycle's commit:
+			// after completed cycle i (1-based) it reads (i-1)*stepB, so
+			// 2*(i-1)==8 stops at the end of cycle 5.
+			{"mid-run", 20, 8, 5, true},
+			{"last-cycle", 5, 8, 5, true},
+			{"never", 7, 3, 7, false}, // countB is always even
+		} {
+			_, in := instantiate(t, ten, parts, kernel.PSU)
+			in.PokeInput(0, 3) // stepA
+			in.PokeInput(1, 2) // stepB
+			accept := tc.accept
+			w := &kernel.Watch{OutIdx: 1, Pred: func(v uint64) bool { return v == accept }}
+			ran, stopped := in.RunBulk(kernel.RunSpec{Cycles: tc.cycles, Watch: w})
+			if ran != tc.wantRan || stopped != tc.wantStopped {
+				t.Fatalf("parts %d %s: RunBulk = (%d,%v), want (%d,%v)",
+					parts, tc.name, ran, stopped, tc.wantRan, tc.wantStopped)
+			}
+			// Both partitions advanced exactly ran cycles.
+			regs := in.RegSnapshot()
+			if got, want := regs[0], uint64(3*ran)&0xff; got != want {
+				t.Fatalf("parts %d %s: regA = %d after %d cycles, want %d", parts, tc.name, got, ran, want)
+			}
+			if got, want := regs[1], uint64(2*ran)&0xff; got != want {
+				t.Fatalf("parts %d %s: regB = %d after %d cycles, want %d", parts, tc.name, got, ran, want)
+			}
+		}
+	}
+}

@@ -56,10 +56,17 @@ type Plan struct {
 	// readers[ri] lists the partitions (other than the owner) whose cones
 	// read register ri's Q coordinate — the differential exchange.
 	readers [][]int
-	// rum[p] lists the (Q slot, source partition) pairs partition p pulls
-	// after every commit: the RUM tensor lowered to reader-indexed
-	// adjacency, so each worker performs its own pulls in parallel.
-	rum [][]rumEntry
+	// pubs[p] and pulls[p] are the RUM tensor lowered to exchange-buffer
+	// adjacency: every cross-partition register is assigned one index of a
+	// shared exchange buffer; after each commit the owner publishes its Q
+	// value there (pubs) and every reader copies it into its own engine
+	// (pulls). Indexing by a flat buffer instead of peeking the source
+	// engine directly is what lets instances double-buffer the exchange
+	// inside a bulk run — publishes of cycle i+1 go to the buffer the
+	// pulls of cycle i are not reading.
+	pubs, pulls [][]xchgEntry
+	// nExchange is the exchange-buffer length (cross-partition registers).
+	nExchange int
 	// slotAuth[slot] is a partition whose LI holds an authoritative value
 	// for the coordinate: the owner for register Q/next slots, the sampling
 	// owner for output slots, and a consuming partition for inputs.
@@ -75,9 +82,10 @@ type Plan struct {
 	stats PlanStats
 }
 
-type rumEntry struct {
-	q   int32
-	src int
+// xchgEntry links one register's Q coordinate to its exchange-buffer index.
+type xchgEntry struct {
+	q  int32
+	xi int32
 }
 
 // PlanStats summarises a partition plan: the replication the cuts cost and
@@ -126,7 +134,8 @@ func NewPlan(t *oim.Tensor, n int, strat partition.Strategy) (*Plan, error) {
 		ownedRegs: make([][]int, n),
 		outOwner:  make([]int, len(t.OutputSlots)),
 		readers:   make([][]int, len(t.RegSlots)),
-		rum:       make([][]rumEntry, n),
+		pubs:      make([][]xchgEntry, n),
+		pulls:     make([][]xchgEntry, n),
 		slotAuth:  make([]int, t.NumSlots),
 	}
 
@@ -305,10 +314,13 @@ func NewPlan(t *oim.Tensor, n int, strat partition.Strategy) (*Plan, error) {
 	}
 
 	// Differential RUM (Box 1): register ri propagates only to the
-	// partitions whose cones actually read its Q coordinate, indexed by
-	// reader so each worker drains its own pull list. Foreign registers a
-	// cone reads are read-only state refreshed by the exchange; their
-	// initial values are preloaded at reset via ConstSlots.
+	// partitions whose cones actually read its Q coordinate. Each
+	// cross-partition register gets one index of the shared exchange
+	// buffer; the owner's publish list and every reader's pull list are
+	// indexed per partition so each worker drains its own side in
+	// parallel. Foreign registers a cone reads are read-only state
+	// refreshed by the exchange; their initial values are preloaded at
+	// reset via ConstSlots.
 	for ri, r := range t.RegSlots {
 		owner := p.regOwner[ri]
 		p.slotAuth[r.Q], p.slotAuth[r.Next] = owner, owner
@@ -321,9 +333,13 @@ func NewPlan(t *oim.Tensor, n int, strat partition.Strategy) (*Plan, error) {
 				continue
 			}
 			p.readers[ri] = append(p.readers[ri], part)
-			p.rum[part] = append(p.rum[part], rumEntry{q: r.Q, src: owner})
+			p.pulls[part] = append(p.pulls[part], xchgEntry{q: r.Q, xi: int32(p.nExchange)})
 			p.subs[part].ConstSlots = append(p.subs[part].ConstSlots,
 				dfg.SlotInit{Slot: r.Q, Value: r.Init})
+		}
+		if len(p.readers[ri]) > 0 {
+			p.pubs[owner] = append(p.pubs[owner], xchgEntry{q: r.Q, xi: int32(p.nExchange)})
+			p.nExchange++
 		}
 	}
 
@@ -422,15 +438,32 @@ var PinWorkers atomic.Bool
 
 func init() { PinWorkers.Store(true) }
 
-// workerCmd is one phase of the cycle protocol driven over each worker's
-// command channel.
-type workerCmd uint8
+// workerOp selects what a worker executes per dispatch.
+type workerOp uint8
 
 const (
-	cmdStep     workerCmd = iota // settle + commit the partition
-	cmdSettle                    // combinational evaluation only
-	cmdExchange                  // pull foreign committed registers (RUM)
+	cmdRun    workerOp = iota // k resident cycles with in-loop RUM exchange
+	cmdSettle                 // combinational evaluation only
 )
+
+// workerCmd is one dispatch of the worker protocol. A cmdRun command
+// carries the shared bulk-run descriptor; every per-cycle synchronisation
+// happens inside the workers on the instance's atomic barrier, so the
+// channels are touched once per run, not per cycle.
+type workerCmd struct {
+	op  workerOp
+	run *bulkRun
+}
+
+// bulkRun describes one multi-cycle run to every worker: the cycle count,
+// the per-partition poke plans (routed through slotUsers, like host pokes),
+// and the optional watch with the partition that evaluates it.
+type bulkRun struct {
+	k         int
+	plans     [][]kernel.PlannedPoke
+	watch     *kernel.Watch
+	watchPart int
+}
 
 // Instance is one runnable partitioned simulation. It implements
 // [kernel.Engine], so it is a drop-in for a single-partition engine
@@ -455,6 +488,14 @@ type instance struct {
 	done    chan struct{}
 	stop    sync.Once
 	pin     bool // lock each worker to an OS thread (PinWorkers at mint)
+
+	// Bulk-run state shared by the resident worker loops: the double-
+	// buffered exchange buffer (cycle i publishes to xbuf[i&1] while pulls
+	// read the buffer cycle i-1 filled), the per-cycle barrier, and the
+	// first cycle index the watch accepted (sentinel: the run's k).
+	xbuf   [2][]uint64
+	bar    kernel.Barrier
+	stopAt atomic.Int64
 }
 
 // Instantiate mints a runnable instance over programs previously built by
@@ -478,6 +519,9 @@ func (p *Plan) Instantiate(progs []*kernel.Program) (*Instance, error) {
 	}
 	if len(in.engines) > 1 {
 		in.pin = PinWorkers.Load()
+		in.xbuf[0] = make([]uint64, p.nExchange)
+		in.xbuf[1] = make([]uint64, p.nExchange)
+		in.bar.Init(len(in.engines))
 		in.done = make(chan struct{}, len(in.engines))
 		in.cmds = make([]chan workerCmd, len(in.engines))
 		for i := range in.engines {
@@ -518,6 +562,24 @@ func (in *Instance) Settle() {
 	runtime.KeepAlive(in)
 }
 
+// RunCycles advances k cycles with one worker dispatch and one join: every
+// partition stays resident in its run loop, synchronising per cycle on the
+// instance's atomic barrier instead of the command channels
+// (kernel.BulkRunner). Bit-identical to k calls of Step.
+func (in *Instance) RunCycles(k int) {
+	in.instance.runBulk(kernel.RunSpec{Cycles: k})
+	runtime.KeepAlive(in)
+}
+
+// RunBulk executes a full [kernel.RunSpec] — scheduled pokes and an optional
+// early-stop watch — inside the resident run loop (kernel.SpecRunner). It
+// returns the completed cycle count and whether the watch stopped the run.
+func (in *Instance) RunBulk(spec kernel.RunSpec) (ran int, stopped bool) {
+	ran, stopped = in.instance.runBulk(spec)
+	runtime.KeepAlive(in)
+	return ran, stopped
+}
+
 func (in *instance) stopWorkers() {
 	in.stop.Do(func() {
 		for _, c := range in.cmds {
@@ -526,11 +588,20 @@ func (in *instance) stopWorkers() {
 	})
 }
 
-// worker is the persistent loop of one partition. During cmdExchange the
-// worker writes only foreign-register slots of its own engine and reads
-// only owner-committed slots of other engines, so concurrent exchange
-// phases touch disjoint memory; the channel barrier orders them after every
-// partition's commit.
+// worker is the persistent loop of one partition. A cmdRun keeps the worker
+// resident for the whole k-cycle run: per cycle it pulls the foreign
+// register values the previous cycle published, applies its share of the
+// poke plan, steps its engine, publishes its own committed registers, and
+// meets the other partitions at the atomic barrier — the channels carry one
+// value per run instead of two per cycle.
+//
+// The exchange is double-buffered: cycle i publishes into xbuf[i&1] while
+// cycle i+1's pulls read xbuf[i&1] after the barrier — a single barrier per
+// cycle suffices because writers of buffer b and readers of buffer 1-b never
+// overlap. The first cycle of a run pulls nothing: between runs every
+// partition's foreign slots are current (the previous run's epilogue — or
+// reset — left them so), which is also why the epilogue below re-pulls the
+// last published buffer before the worker parks.
 func (in *instance) worker(part int, cmds <-chan workerCmd) {
 	if in.pin {
 		// Pin the partition to one OS thread for its whole life; the
@@ -540,22 +611,56 @@ func (in *instance) worker(part int, cmds <-chan workerCmd) {
 		defer runtime.UnlockOSThread()
 	}
 	eng := in.engines[part]
+	pubs, pulls := in.plan.pubs[part], in.plan.pulls[part]
 	for c := range cmds {
-		switch c {
-		case cmdStep:
-			eng.Step()
+		switch c.op {
 		case cmdSettle:
 			eng.Settle()
-		case cmdExchange:
-			for _, e := range in.plan.rum[part] {
-				eng.PokeSlot(e.q, in.engines[e.src].PeekSlot(e.q))
+		case cmdRun:
+			r := c.run
+			pokes := r.plans[part]
+			pi, last := 0, -1
+			for i := 0; i < r.k; i++ {
+				if i > 0 {
+					src := in.xbuf[(i-1)&1]
+					for _, e := range pulls {
+						eng.PokeSlot(e.q, src[e.xi])
+					}
+				}
+				for pi < len(pokes) && pokes[pi].Cycle <= i {
+					eng.PokeSlot(pokes[pi].Slot, pokes[pi].Value)
+					pi++
+				}
+				eng.Step()
+				dst := in.xbuf[i&1]
+				for _, e := range pubs {
+					dst[e.xi] = eng.PeekSlot(e.q)
+				}
+				if r.watch != nil && part == r.watchPart && r.watch.Accepts(r.watch.Sample(eng)) {
+					in.stopAt.Store(int64(i))
+				}
+				in.bar.Await()
+				last = i
+				if r.watch != nil && in.stopAt.Load() <= int64(i) {
+					break
+				}
+			}
+			// Epilogue: restore the inter-run invariant — every foreign slot
+			// holds the value its owner last committed — so host peeks, pokes
+			// and the next run's first cycle see current state.
+			if last >= 0 {
+				src := in.xbuf[last&1]
+				for _, e := range pulls {
+					eng.PokeSlot(e.q, src[e.xi])
+				}
 			}
 		}
 		in.done <- struct{}{}
 	}
 }
 
-// broadcast issues one command to every worker and waits for the barrier.
+// broadcast issues one command to every worker and joins on completion —
+// the only channel traffic a run pays, regardless of its cycle count.
 func (in *instance) broadcast(c workerCmd) {
 	for _, w := range in.cmds {
 		w <- c
@@ -577,21 +682,70 @@ func (in *instance) Name() string {
 	return fmt.Sprintf("%s×%d", in.kind, len(in.engines))
 }
 
-func (in *instance) step() {
+func (in *instance) step() { in.runBulk(kernel.RunSpec{Cycles: 1}) }
+
+// runBulk executes a [kernel.RunSpec] across the partitions: one broadcast,
+// k resident cycles in every worker, one join. Pokes are routed to the
+// partitions that consume their slot (slotUsers, authoritative fallback),
+// exactly like live [instance.PokeSlot] calls; a watch is evaluated by the
+// single partition holding the authoritative value, which publishes the
+// stopping cycle through stopAt for the others to observe at the barrier.
+func (in *instance) runBulk(spec kernel.RunSpec) (ran int, stopped bool) {
+	k := spec.Cycles
+	if k <= 0 {
+		return 0, false
+	}
 	if len(in.engines) == 1 {
-		in.engines[0].Step()
-	} else {
-		in.broadcast(cmdStep)
-		in.broadcast(cmdExchange)
+		ran, stopped = kernel.RunEngine(in.engines[0], spec)
+		in.sample()
+		return ran, stopped
+	}
+	run := &bulkRun{k: k, plans: make([][]kernel.PlannedPoke, len(in.engines))}
+	for _, p := range sortedPlanPokes(spec.Pokes) {
+		users := in.plan.slotUsers[p.Slot]
+		if len(users) == 0 {
+			run.plans[in.plan.slotAuth[p.Slot]] = append(run.plans[in.plan.slotAuth[p.Slot]], p)
+			continue
+		}
+		for _, part := range users {
+			run.plans[part] = append(run.plans[part], p)
+		}
+	}
+	if w := spec.Watch; w != nil {
+		run.watch = w
+		if w.OutIdx >= 0 {
+			run.watchPart = in.plan.outOwner[w.OutIdx]
+		} else {
+			run.watchPart = in.plan.slotAuth[w.Slot]
+		}
+	}
+	in.stopAt.Store(int64(k))
+	in.broadcast(workerCmd{op: cmdRun, run: run})
+	ran = k
+	if run.watch != nil {
+		if at := in.stopAt.Load(); at < int64(k) {
+			ran, stopped = int(at)+1, true
+		}
 	}
 	in.sample()
+	return ran, stopped
+}
+
+// sortedPlanPokes orders a poke plan by cycle, copying only when needed.
+func sortedPlanPokes(pokes []kernel.PlannedPoke) []kernel.PlannedPoke {
+	if slices.IsSortedFunc(pokes, func(a, b kernel.PlannedPoke) int { return a.Cycle - b.Cycle }) {
+		return pokes
+	}
+	pokes = slices.Clone(pokes)
+	slices.SortStableFunc(pokes, func(a, b kernel.PlannedPoke) int { return a.Cycle - b.Cycle })
+	return pokes
 }
 
 func (in *instance) settle() {
 	if len(in.engines) == 1 {
 		in.engines[0].Settle()
 	} else {
-		in.broadcast(cmdSettle)
+		in.broadcast(workerCmd{op: cmdSettle})
 	}
 	in.sample()
 }

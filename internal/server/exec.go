@@ -18,6 +18,12 @@ import (
 // transact/handshake budgets beyond it are rejected rather than clamped,
 // so a client is told about the policy instead of silently getting a
 // shorter wait.
+//
+// Step and transact/handshake commands compile to bulk engine runs through
+// [sim.Testbench.Run] and the port Wait fast path: a step-k or a long
+// transact costs one worker dispatch on the session's engine, not k
+// Go-level round-trips — per-cycle dispatch overhead on the serve path is
+// paid per command, not per simulated cycle.
 func runCommands(tb *sim.Testbench, cmds []testbench.Command, maxCyclesPerCommand int64) ([]testbench.Outcome, int64, error) {
 	outcomes := make([]testbench.Outcome, 0, len(cmds))
 	start := tb.Cycle()

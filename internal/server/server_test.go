@@ -588,3 +588,57 @@ func TestWireErrors(t *testing.T) {
 		t.Errorf("double release answered %v, want 404", err)
 	}
 }
+
+// TestClientWaitBatchesChecks exercises the client-side chunked Wait: the
+// predicate is only consulted at chunk boundaries (one step-k plus a peek
+// per round-trip), so the observed value and cycle count land on the first
+// boundary at or past the condition, and a never-true predicate times out
+// after exactly maxCycles.
+func TestClientWaitBatchesChecks(t *testing.T) {
+	_, c := newTestService(t, server.Config{})
+	ctx := context.Background()
+	cr, err := c.Compile(ctx, counterSrc, server.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.NewSession(ctx, cr.Hash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(ctx)
+	if _, err := sess.Do(ctx, client.NewScript().Poke("step", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// count samples at settle: after n cycles it reads n-1. The condition
+	// count >= 10 first holds mid-chunk (n = 11); with chunk = 8 the wait
+	// observes it at the n = 16 boundary, reading 15.
+	v, err := sess.Wait(ctx, 0, "count", func(v uint64) bool { return v >= 10 }, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 15 {
+		t.Errorf("Wait observed %d at the chunk boundary, want 15", v)
+	}
+	resp, err := sess.Do(ctx, client.NewScript().Peek("count"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cycle != 16 {
+		t.Errorf("cycle after chunked wait = %d, want 16 (two 8-cycle chunks)", resp.Cycle)
+	}
+
+	// A non-positive chunk degrades to per-cycle checking, which observes
+	// the exact first accepting cycle.
+	v, err = sess.Wait(ctx, 0, "count", func(v uint64) bool { return v >= 20 }, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 20 {
+		t.Errorf("per-cycle Wait observed %d, want 20", v)
+	}
+
+	// Timeout: the budget is consumed in chunks and the error carries it.
+	if _, err := sess.Wait(ctx, 0, "count", func(uint64) bool { return false }, 12, 5); err == nil {
+		t.Fatal("impossible predicate did not time out")
+	}
+}

@@ -105,6 +105,16 @@ func Run(eng kernel.Engine, stim Stimulus, n int64) {
 	}
 }
 
+// BulkRunFunc advances the simulation a port belongs to by up to maxCycles
+// cycles in one bulk dispatch, stopping early the first cycle pred accepts
+// the named signal's value (a nil pred accepts the first cycle). It returns
+// the completed cycle count and whether the predicate stopped the run. The
+// binder supplies it ([DMI.SetBulkRun]) when the underlying engine can run
+// multi-cycle plans; pred is then evaluated inside the engine's run loop —
+// once per completed cycle, in order — instead of one host round-trip per
+// cycle.
+type BulkRunFunc func(maxCycles int, sig kernel.Signal, pred func(uint64) bool) (ran int, stopped bool, err error)
+
 // DMI is the Debug-Module-Interface-style host port bundle: it binds the
 // named signals of one lane — inputs, outputs, and registers — and
 // exchanges values with them between cycles, as the FESVR↔DTM connection
@@ -115,7 +125,13 @@ type DMI struct {
 	lane Lane
 	sig  kernel.SignalMap
 	step func() error
+	bulk BulkRunFunc
 }
+
+// SetBulkRun installs the bulk-run fast path used by [Port.Wait] (and
+// everything layered on it: Transact, Handshake). Ports resolved before the
+// call keep the per-cycle path.
+func (d *DMI) SetBulkRun(f BulkRunFunc) { d.bulk = f }
 
 // New binds a DMI to one lane with a pre-built signal map and a step
 // function advancing the underlying simulation one cycle.
@@ -139,7 +155,7 @@ func (d *DMI) Port(name string) (*Port, error) {
 	if !ok {
 		return nil, fmt.Errorf("testbench: no signal named %q", name)
 	}
-	return &Port{lane: d.lane, sig: s, step: d.step}, nil
+	return &Port{lane: d.lane, sig: s, step: d.step, bulk: d.bulk}, nil
 }
 
 // Poke writes a named signal (input or register).
@@ -213,6 +229,7 @@ type Port struct {
 	lane Lane
 	sig  kernel.Signal
 	step func() error
+	bulk BulkRunFunc
 }
 
 // Signal reports the port's compile-time resolution.
@@ -244,8 +261,21 @@ func (p *Port) Peek() uint64 {
 // Wait steps the simulation until the predicate holds for the port's
 // value, for at most maxCycles cycles, and returns the accepted value. A
 // nil predicate accepts the first cycle. The wait starts with a step: the
-// port is sampled after each full cycle, never before the first.
+// port is sampled after each full cycle, never before the first. With a
+// bulk runner installed the whole wait is one engine-level run that stops
+// the cycle the predicate accepts — the predicate is still evaluated once
+// per completed cycle, in order — instead of a host dispatch per cycle.
 func (p *Port) Wait(pred func(uint64) bool, maxCycles int) (uint64, error) {
+	if p.bulk != nil {
+		_, stopped, err := p.bulk(maxCycles, p.sig, pred)
+		if err != nil {
+			return 0, err
+		}
+		if stopped {
+			return p.Peek(), nil
+		}
+		return 0, fmt.Errorf("testbench: wait on %q timed out after %d cycles", p.sig.Name, maxCycles)
+	}
 	for i := 0; i < maxCycles; i++ {
 		if err := p.step(); err != nil {
 			return 0, err

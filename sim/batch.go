@@ -124,11 +124,26 @@ func (b *Batch) Step() {
 	b.cycle++
 }
 
-// Run advances every lane n cycles.
+// Run advances every lane n cycles in bulk: one worker dispatch and one
+// join for the whole run ([kernel.Batch.Run]), so parallel batches pay
+// per-cycle coordination once per run instead of once per cycle.
+// Bit-identical to n calls of [Batch.Step].
 func (b *Batch) Run(n int64) {
-	for i := int64(0); i < n; i++ {
-		b.Step()
+	for n > 0 {
+		k := min(n, int64(1)<<30)
+		b.b.Run(int(k))
+		b.cycle += k
+		n -= k
 	}
+}
+
+// runBulk executes a [kernel.RunSpec] against the batch engine, advancing
+// the cycle counter by the completed count — the funnel [Testbench] bulk
+// runs drain into.
+func (b *Batch) runBulk(spec kernel.RunSpec) (ran int, stopped bool) {
+	ran, stopped = b.b.RunBulk(spec)
+	b.cycle += int64(ran)
+	return ran, stopped
 }
 
 // Reset restores every lane to the initial state.

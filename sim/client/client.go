@@ -187,6 +187,34 @@ func (s *Session) Do(ctx context.Context, script *Script) (*server.CommandsRespo
 	return &resp, nil
 }
 
+// Wait drives the remote session until pred accepts the named signal's
+// value on the given lane, for at most maxCycles cycles. Client-side
+// predicates cannot travel the wire, so the wait batches its checks: each
+// round-trip is one step-min(chunk, remaining) plus a peek, and pred runs
+// here on the sampled value — maxCycles/chunk HTTP requests instead of one
+// per cycle. The predicate is therefore only consulted at chunk
+// boundaries: a condition that became true mid-chunk is observed up to
+// chunk-1 cycles late (the session's cycle count reflects the overshoot).
+// For exact-cycle stopping, express the condition as a wire
+// [testbench.Cond] and use [Script.Transact], which evaluates server-side
+// every cycle. A chunk below 1 is treated as 1; timeout is an error.
+func (s *Session) Wait(ctx context.Context, lane int, signal string, pred func(uint64) bool, maxCycles, chunk int) (uint64, error) {
+	chunk = max(chunk, 1)
+	for done := 0; done < maxCycles; {
+		k := min(chunk, maxCycles-done)
+		resp, err := s.Do(ctx, NewScript().Step(int64(k)).PeekLane(lane, signal))
+		if err != nil {
+			return 0, err
+		}
+		done += k
+		v := resp.Outcomes[len(resp.Outcomes)-1].Value
+		if pred == nil || pred(v) {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("client: wait on %q timed out after %d cycles", signal, maxCycles)
+}
+
 // Log fetches the session's recorded, replayable transaction log.
 func (s *Session) Log(ctx context.Context) (*server.LogResponse, error) {
 	var resp server.LogResponse

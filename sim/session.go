@@ -81,14 +81,64 @@ func (s *Session) Step() error {
 	return nil
 }
 
-// Run advances n cycles.
+// Run advances n cycles. Without an active waveform the whole run is one
+// bulk dispatch into the engine ([kernel.BulkRunner]/[kernel.SpecRunner]):
+// parallel engines keep their workers resident for the full run instead of
+// paying a dispatch and join per cycle, so long runs amortise all per-cycle
+// coordination. With a waveform enabled the run falls back to per-cycle
+// stepping — the VCD must sample every cycle. Bit-identical to n calls of
+// [Session.Step] either way.
 func (s *Session) Run(n int64) error {
-	for i := int64(0); i < n; i++ {
-		if err := s.Step(); err != nil {
+	for n > 0 {
+		k := min(n, int64(1)<<30)
+		if _, _, err := s.runBulk(kernel.RunSpec{Cycles: int(k)}); err != nil {
 			return err
 		}
+		n -= k
 	}
 	return nil
+}
+
+// runBulk executes a [kernel.RunSpec] — up to Cycles cycles with scheduled
+// pokes and an optional early-stop watch — against the session's engine,
+// advancing the cycle counter by the completed count. This is the single
+// funnel every bulk surface ([Session.Run], [Testbench]) drains into.
+func (s *Session) runBulk(spec kernel.RunSpec) (ran int, stopped bool, err error) {
+	if s.closed {
+		return 0, false, fmt.Errorf("sim: session used after Close")
+	}
+	if spec.Cycles <= 0 {
+		return 0, false, nil
+	}
+	if s.wave == nil {
+		if sr, ok := s.eng.(kernel.SpecRunner); ok {
+			ran, stopped = sr.RunBulk(spec)
+		} else if br, ok := s.eng.(kernel.BulkRunner); ok && len(spec.Pokes) == 0 && spec.Watch == nil {
+			br.RunCycles(spec.Cycles)
+			ran = spec.Cycles
+		} else {
+			ran, stopped = kernel.RunEngine(s.eng, spec)
+		}
+		s.cycle += int64(ran)
+		return ran, stopped, nil
+	}
+	// Waveform fallback: sample once per cycle, exactly as single-stepping
+	// would (plans arrive ordered by cycle, see [kernel.RunSpec]).
+	pi := 0
+	for i := 0; i < spec.Cycles; i++ {
+		for pi < len(spec.Pokes) && spec.Pokes[pi].Cycle <= i {
+			s.eng.PokeSlot(spec.Pokes[pi].Slot, spec.Pokes[pi].Value)
+			pi++
+		}
+		if err := s.Step(); err != nil {
+			return ran, false, err
+		}
+		ran++
+		if w := spec.Watch; w != nil && w.Accepts(w.Sample(s.eng)) {
+			return ran, true, nil
+		}
+	}
+	return ran, false, nil
 }
 
 // Reset restores the initial state (the waveform keeps recording).

@@ -49,6 +49,9 @@ type Testbench struct {
 	cycle  func() int64
 	// advance steps the bound session or batch one cycle (all lanes).
 	advance func() error
+	// bulk executes a multi-cycle run spec against the bound engine; the
+	// funnel [Testbench.Run] and port waits compile into.
+	bulk func(spec kernel.RunSpec) (ran int, stopped bool, err error)
 }
 
 // Testbench binds a transaction-level testbench to the session. The
@@ -60,6 +63,7 @@ func (s *Session) Testbench() *Testbench {
 		inputs:  len(s.d.tensor.InputSlots),
 		cycle:   func() int64 { return s.cycle },
 		advance: s.Step,
+		bulk:    s.runBulk,
 	}
 	tb.bind([]testbench.Lane{s.eng})
 	return tb
@@ -78,6 +82,10 @@ func (b *Batch) Testbench() *Testbench {
 		inputs:  len(b.d.tensor.InputSlots),
 		cycle:   func() int64 { return b.cycle },
 		advance: func() error { b.Step(); return nil },
+		bulk: func(spec kernel.RunSpec) (int, bool, error) {
+			ran, stopped := b.runBulk(spec)
+			return ran, stopped, nil
+		},
 	}
 	tb.bind(lanes)
 	return tb
@@ -88,6 +96,14 @@ func (tb *Testbench) bind(lanes []testbench.Lane) {
 	tb.dmis = make([]*testbench.DMI, len(lanes))
 	for l, lane := range lanes {
 		tb.dmis[l] = testbench.New(lane, tb.d.signals, tb.tick)
+		lane := l
+		tb.dmis[l].SetBulkRun(func(maxCycles int, sig kernel.Signal, pred func(uint64) bool) (int, bool, error) {
+			w := &kernel.Watch{Lane: lane, Slot: sig.Slot, OutIdx: -1, Pred: pred}
+			if sig.Kind == kernel.SignalOutput {
+				w.OutIdx = sig.Index
+			}
+			return tb.runBulk(maxCycles, w)
+		})
 	}
 }
 
@@ -134,14 +150,67 @@ func (tb *Testbench) Drive(stim Stimulus) { tb.stim = stim }
 // Step advances one cycle: stimulus first, then the underlying Step.
 func (tb *Testbench) Step() error { return tb.tick() }
 
-// Run advances n cycles.
+// Run advances n cycles as bulk engine runs: the installed stimulus is
+// compiled into per-cycle poke plans and executed inside the engine's run
+// loop, one dispatch per plan chunk instead of per cycle. Bit-identical to
+// n calls of [Testbench.Step].
 func (tb *Testbench) Run(n int64) error {
-	for i := int64(0); i < n; i++ {
-		if err := tb.tick(); err != nil {
+	for n > 0 {
+		k := min(n, int64(1)<<30)
+		if _, _, err := tb.runBulk(int(k), nil); err != nil {
 			return err
 		}
+		n -= k
 	}
 	return nil
+}
+
+// planBudget caps how many planned pokes one bulk dispatch carries, so a
+// long stimulus-driven run compiles into bounded chunks instead of one
+// plan proportional to n × lanes × inputs.
+const planBudget = 16384
+
+// runBulk advances up to n cycles through the bound engine's bulk path,
+// compiling the installed stimulus (if any) into scheduled poke plans —
+// value of (cycle, lane, input) at its absolute cycle, exactly what tick
+// would have poked — and threading the optional watch into the engine so
+// predicate checks happen inside the run loop.
+func (tb *Testbench) runBulk(n int, watch *kernel.Watch) (ran int, stopped bool, err error) {
+	inSlots := tb.d.tensor.InputSlots
+	chunk := n
+	if tb.stim != nil {
+		if per := len(tb.lanes) * tb.inputs; per > 0 {
+			chunk = max(planBudget/per, 1)
+		}
+	}
+	for ran < n {
+		k := min(n-ran, chunk)
+		spec := kernel.RunSpec{Cycles: k, Watch: watch}
+		if tb.stim != nil && tb.inputs > 0 {
+			base := tb.cycle()
+			pokes := make([]kernel.PlannedPoke, 0, k*len(tb.lanes)*tb.inputs)
+			for c := 0; c < k; c++ {
+				for l := range tb.lanes {
+					for i := 0; i < tb.inputs; i++ {
+						pokes = append(pokes, kernel.PlannedPoke{
+							Cycle: c, Lane: l, Slot: inSlots[i],
+							Value: tb.stim.Value(base+int64(c), l, i),
+						})
+					}
+				}
+			}
+			spec.Pokes = pokes
+		}
+		r, s, err := tb.bulk(spec)
+		ran += r
+		if err != nil || s {
+			return ran, s, err
+		}
+		if r < k {
+			break
+		}
+	}
+	return ran, false, nil
 }
 
 // Port resolves a named signal of lane 0 once; the returned port pokes and
