@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -59,12 +60,13 @@ type Batch struct {
 	seq *batchShard
 
 	// Parallel executor (workers > 1): per-worker shards and their command
-	// channels. Workers reference only the shard and the channels — never
-	// the Batch itself — so dropping the batch lets the finalizer stop
-	// them.
+	// channels. Workers reference only the shard, the channels, and the
+	// shared fault slot — never the Batch itself — so dropping the batch
+	// lets the finalizer stop them.
 	shards []*batchShard
 	cmds   []chan batchCmd
 	done   chan struct{}
+	fault  *atomic.Pointer[WorkerPanic]
 	stop   sync.Once
 	closed bool
 }
@@ -188,15 +190,39 @@ func (sh *batchShard) runBulk(k int, pokes []PlannedPoke, sync *batchSync) int {
 	return ran
 }
 
-// batchWorker is the persistent loop of one lane shard.
-func batchWorker(sh *batchShard, cmds <-chan batchCmd, done chan<- struct{}) {
+// batchWorker is the persistent loop of one lane shard. Every dispatched
+// command runs inside a recovery boundary, so a panic in a lane body or a
+// watch predicate never kills the worker or wedges the join: the worker
+// always sends done, and the dispatcher re-raises the recorded panic on
+// the calling goroutine.
+func batchWorker(sh *batchShard, cmds <-chan batchCmd, done chan<- struct{}, fault *atomic.Pointer[WorkerPanic]) {
 	for c := range cmds {
-		if c.phase == batchRun {
-			sh.runBulk(c.k, c.pokes, c.sync)
-		} else {
-			sh.run(c.phase)
-		}
+		runWorkerCmd(sh, c, fault)
 		done <- struct{}{}
+	}
+}
+
+// runWorkerCmd executes one dispatched command, recovering any panic. A
+// recovered worker in a locked-step run first releases its barrier cohort:
+// it publishes a stop cycle below every peer's current cycle, then arrives
+// at the one barrier it still owes for the incomplete cycle (panics can
+// only happen before the worker's own Await), so peers observe the stop
+// and drain instead of spinning forever. The panic value and worker stack
+// are recorded for the dispatcher to re-raise as a [WorkerPanic].
+func runWorkerCmd(sh *batchShard, c batchCmd, fault *atomic.Pointer[WorkerPanic]) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault.CompareAndSwap(nil, &WorkerPanic{Val: r, Stack: debug.Stack()})
+			if c.sync != nil {
+				c.sync.stop.Store(-1)
+				c.sync.bar.Await()
+			}
+		}
+	}()
+	if c.phase == batchRun {
+		sh.runBulk(c.k, c.pokes, c.sync)
+	} else {
+		sh.run(c.phase)
 	}
 }
 
@@ -263,6 +289,7 @@ func newBatch(t *oim.Tensor, sched *batchSchedule, lanes, workers int) (*Batch, 
 	} else {
 		b.done = make(chan struct{}, workers)
 		b.cmds = make([]chan batchCmd, workers)
+		b.fault = new(atomic.Pointer[WorkerPanic])
 		lo := 0
 		for w := 0; w < workers; w++ {
 			var hi int
@@ -285,7 +312,7 @@ func newBatch(t *oim.Tensor, sched *batchSchedule, lanes, workers int) (*Batch, 
 			sh := bindShard(lo, hi)
 			b.shards = append(b.shards, sh)
 			b.cmds[w] = make(chan batchCmd, 1)
-			go batchWorker(sh, b.cmds[w], b.done)
+			go batchWorker(sh, b.cmds[w], b.done, b.fault)
 			lo = hi
 		}
 		runtime.SetFinalizer(b, (*Batch).shutdown)
@@ -333,6 +360,21 @@ func (b *Batch) broadcast(c batchPhase) {
 	}
 	for range b.cmds {
 		<-b.done
+	}
+	b.checkFault()
+}
+
+// checkFault re-raises a panic a worker recovered during the preceding
+// dispatch. The batch is poisoned — the panicking shard stopped mid-cycle,
+// so lane state is torn — and is closed before the panic propagates;
+// callers that recover must discard it.
+func (b *Batch) checkFault() {
+	if b.fault == nil {
+		return
+	}
+	if f := b.fault.Swap(nil); f != nil {
+		b.Close()
+		panic(f)
 	}
 }
 
@@ -457,15 +499,24 @@ func (b *Batch) RunCycles(k int) { b.Run(k) }
 // run executes in locked step — one barrier per cycle, so every lane stops
 // at the same cycle the watch accepted — while an unwatched run stays
 // synchronisation-free between dispatch and join.
+// A spec with a Cancel probe runs in [CancelCheckCycles] chunks — one
+// dispatch/join round per chunk, the probe polled on the calling goroutine
+// between rounds — so cancellation never tears lanes out of lock-step.
 func (b *Batch) RunBulk(spec RunSpec) (ran int, stopped bool) {
 	if b.closed {
 		panic("kernel: batch used after Close")
 	}
+	return RunChunked(spec, b.runBulkOnce)
+}
+
+// runBulkOnce is one uninterruptible dispatch of a bulk run; pokes arrive
+// sorted from RunChunked.
+func (b *Batch) runBulkOnce(spec RunSpec) (ran int, stopped bool) {
 	k := spec.Cycles
 	if k <= 0 {
 		return 0, false
 	}
-	pokes := sortedPokes(spec.Pokes)
+	pokes := spec.Pokes
 	var sync *batchSync
 	if spec.Watch != nil {
 		sync = &batchSync{watch: spec.Watch}
@@ -482,6 +533,7 @@ func (b *Batch) RunBulk(spec RunSpec) (ran int, stopped bool) {
 			<-b.done
 		}
 		runtime.KeepAlive(b)
+		b.checkFault()
 	}
 	if sync != nil {
 		if at := sync.stop.Load(); at < int64(k) {

@@ -1,0 +1,175 @@
+package kernel
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, failing the test if it does not settle — the worker-panic tests
+// use it to prove a poisoned batch leaks no resident workers.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > want {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("worker goroutines leaked: %d, want <= %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRunChunkedCancel pins the chunked-run contract: the probe is polled
+// at chunk boundaries, chunks never exceed CancelCheckCycles, pokes are
+// rebased to chunk-relative cycles, and a tripping probe stops the run at
+// the boundary with stopped == false.
+func TestRunChunkedCancel(t *testing.T) {
+	const total = 3*CancelCheckCycles + 100
+	var chunks []RunSpec
+	exec := func(spec RunSpec) (int, bool) {
+		chunks = append(chunks, spec)
+		return spec.Cycles, false
+	}
+
+	// Nil probe: one call, untouched cycle count.
+	ran, stopped := RunChunked(RunSpec{Cycles: total}, exec)
+	if ran != total || stopped || len(chunks) != 1 || chunks[0].Cycles != total {
+		t.Fatalf("nil probe: ran=%d stopped=%v chunks=%d", ran, stopped, len(chunks))
+	}
+
+	// Never-tripping probe: ceil(total/CancelCheckCycles) chunks, each at
+	// most CancelCheckCycles, summing to total, pokes rebased.
+	chunks = nil
+	pokes := []PlannedPoke{
+		{Cycle: 10, Slot: 0, Value: 1},
+		{Cycle: CancelCheckCycles + 5, Slot: 0, Value: 2},
+		{Cycle: total + 50, Slot: 0, Value: 3}, // past the end: never delivered
+	}
+	ran, stopped = RunChunked(RunSpec{Cycles: total, Pokes: pokes, Cancel: func() bool { return false }}, exec)
+	if ran != total || stopped {
+		t.Fatalf("inert probe: ran=%d stopped=%v, want %d,false", ran, stopped, total)
+	}
+	sum := 0
+	for i, c := range chunks {
+		if c.Cycles > CancelCheckCycles {
+			t.Fatalf("chunk %d spans %d cycles, cap is %d", i, c.Cycles, CancelCheckCycles)
+		}
+		sum += c.Cycles
+	}
+	if sum != total || len(chunks) != 4 {
+		t.Fatalf("chunks sum to %d in %d pieces, want %d in 4", sum, len(chunks), total)
+	}
+	if len(chunks[0].Pokes) != 1 || chunks[0].Pokes[0].Cycle != 10 {
+		t.Fatalf("chunk 0 pokes = %+v, want the cycle-10 poke", chunks[0].Pokes)
+	}
+	if len(chunks[1].Pokes) != 1 || chunks[1].Pokes[0].Cycle != 5 {
+		t.Fatalf("chunk 1 pokes = %+v, want the rebased cycle-5 poke", chunks[1].Pokes)
+	}
+	if len(chunks[3].Pokes) != 0 {
+		t.Fatalf("chunk 3 delivered the past-the-end poke: %+v", chunks[3].Pokes)
+	}
+
+	// A probe tripping after two polls stops at the second chunk boundary:
+	// exactly 2*CancelCheckCycles cycles ran, stopped stays false (the
+	// watch did not fire — the caller distinguishes cancellation by the
+	// short count).
+	polls := 0
+	ran, stopped = RunChunked(RunSpec{
+		Cycles: total,
+		Cancel: func() bool { polls++; return polls > 2 },
+	}, exec)
+	if ran != 2*CancelCheckCycles || stopped {
+		t.Fatalf("tripping probe: ran=%d stopped=%v, want %d,false", ran, stopped, 2*CancelCheckCycles)
+	}
+}
+
+// TestBatchWorkerPanicRecovery: a panic inside a parallel batch worker (a
+// watch predicate here, standing in for any torn evaluation) must not
+// strand the dispatcher at the cycle barrier or leak workers. The
+// protocol: the panicking worker releases its barrier cohort, records the
+// fault, and the dispatcher re-raises it as a *WorkerPanic after closing
+// the batch.
+func TestBatchWorkerPanicRecovery(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ten := bulkCounterTensor(t)
+	prog, err := NewProgram(ten, Config{Kind: PSU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lanes = 4
+	b, err := prog.InstantiateBatchWith(lanes, BatchOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < lanes; lane++ {
+		b.PokeInput(lane, 0, 1)
+	}
+
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		b.RunBulk(RunSpec{Cycles: 50, Watch: &Watch{
+			OutIdx: 0,
+			Pred:   func(v uint64) bool { panic("injected predicate crash") },
+		}})
+	}()
+	wp, ok := recovered.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("dispatcher re-raised %v (%T), want *WorkerPanic", recovered, recovered)
+	}
+	if wp.Val != "injected predicate crash" || len(wp.Stack) == 0 {
+		t.Fatalf("WorkerPanic = {Val: %v, %d stack bytes}, want the hook's value and a stack", wp.Val, len(wp.Stack))
+	}
+
+	// The batch closed itself before re-raising: stepping it panics
+	// instead of deadlocking against dead workers.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Step on the poisoned batch did not panic")
+			}
+		}()
+		b.Step()
+	}()
+	waitGoroutines(t, base) // all three workers exited
+}
+
+// TestBatchWorkerPanicPeersSurvive: only the batch whose worker panicked
+// is poisoned — an independent batch of the same program keeps stepping
+// correctly afterwards.
+func TestBatchWorkerPanicPeersSurvive(t *testing.T) {
+	ten := bulkCounterTensor(t)
+	prog, err := NewProgram(ten, Config{Kind: PSU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := prog.InstantiateBatchWith(2, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := prog.InstantiateBatchWith(2, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	func() {
+		defer func() { _ = recover() }()
+		victim.RunBulk(RunSpec{Cycles: 10, Watch: &Watch{
+			OutIdx: 0,
+			Pred:   func(uint64) bool { panic("boom") },
+		}})
+	}()
+
+	peer.PokeInput(0, 0, 2)
+	peer.Run(5)
+	// Outputs sample at settle, before that cycle's commit: after 5
+	// completed cycles the count output reads 4*step.
+	if got := peer.PeekOutput(0, 0); got != 8 {
+		t.Fatalf("peer batch count = %d after the victim's panic, want 8", got)
+	}
+}

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"fmt"
 	"runtime"
 	"slices"
 	"sync/atomic"
@@ -51,6 +52,86 @@ type RunSpec struct {
 	Cycles int
 	Pokes  []PlannedPoke
 	Watch  *Watch
+
+	// Cancel, when non-nil, is a cancellation probe polled between chunks
+	// of at most [CancelCheckCycles] cycles: when it returns true the run
+	// ends early at the chunk boundary with stopped == false. The check is
+	// deliberately coarse so the per-cycle hot loop stays clean, and it is
+	// only ever polled from the dispatching goroutine — never from engine
+	// workers — so probes need not be safe for concurrent use.
+	Cancel func() bool
+}
+
+// CancelCheckCycles is the granularity of [RunSpec.Cancel] polling: a
+// cancelled run overshoots its cancellation point by at most this many
+// cycles. Coarse enough that the poll cost vanishes against the per-chunk
+// work, fine enough that deadline overshoot stays in the microsecond range
+// for every engine.
+const CancelCheckCycles = 1024
+
+// RunChunked executes spec through run in cancel-bounded chunks: the probe
+// is polled before each chunk of at most [CancelCheckCycles] cycles, with
+// the chunk's pokes rebased to chunk-relative cycles. With a nil probe it
+// is a single call to run. run sees specs without a Cancel field and with
+// Pokes already sorted; it reports the cycles completed and whether the
+// watch stopped the run, exactly like [SpecRunner].
+func RunChunked(spec RunSpec, run func(RunSpec) (int, bool)) (ran int, stopped bool) {
+	if spec.Cancel == nil {
+		return run(RunSpec{Cycles: spec.Cycles, Pokes: sortedPokes(spec.Pokes), Watch: spec.Watch})
+	}
+	pokes := sortedPokes(spec.Pokes)
+	for ran < spec.Cycles {
+		if spec.Cancel() {
+			return ran, false
+		}
+		k := min(CancelCheckCycles, spec.Cycles-ran)
+		sub := RunSpec{Cycles: k, Pokes: rebasePokes(pokes, ran, k), Watch: spec.Watch}
+		r, s := run(sub)
+		ran += r
+		if s || r < k {
+			return ran, s
+		}
+	}
+	return ran, false
+}
+
+// rebasePokes selects the pokes scheduled in [base, base+k) from a
+// cycle-sorted plan and shifts them to chunk-relative cycles. Pokes
+// scheduled before base were consumed by earlier chunks.
+func rebasePokes(pokes []PlannedPoke, base, k int) []PlannedPoke {
+	lo := 0
+	for lo < len(pokes) && pokes[lo].Cycle < base {
+		lo++
+	}
+	hi := lo
+	for hi < len(pokes) && pokes[hi].Cycle < base+k {
+		hi++
+	}
+	if lo == hi {
+		return nil
+	}
+	out := make([]PlannedPoke, hi-lo)
+	for i, p := range pokes[lo:hi] {
+		p.Cycle -= base
+		out[i] = p
+	}
+	return out
+}
+
+// WorkerPanic is the panic value the parallel engines re-raise on the
+// dispatching goroutine after recovering a panic inside a resident worker:
+// the worker releases its barrier cohort so peers drain cleanly, records
+// the original value and stack here, and the dispatcher — having joined
+// every worker — re-panics with it. Callers that recover at their own
+// boundary therefore see one panic, on their own goroutine, with the
+// worker's stack attached, and never a wedged barrier or a leaked worker.
+type WorkerPanic struct {
+	Val   any    // the worker's original panic value
+	Stack []byte // the worker's stack at recovery
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("kernel: worker panic: %v", p.Val)
 }
 
 // BulkRunner is implemented by engines that advance many cycles per call,
@@ -95,6 +176,9 @@ func (w *Watch) Accepts(v uint64) bool { return w.Pred == nil || w.Pred(v) }
 // the reference semantics every specialised bulk path must match, and the
 // fallback for engines without a resident run loop of their own.
 func RunEngine(eng Engine, spec RunSpec) (ran int, stopped bool) {
+	if spec.Cancel != nil {
+		return RunChunked(spec, func(sub RunSpec) (int, bool) { return RunEngine(eng, sub) })
+	}
 	pokes := sortedPokes(spec.Pokes)
 	pi := 0
 	for i := 0; i < spec.Cycles; i++ {

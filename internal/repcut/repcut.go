@@ -29,6 +29,7 @@ package repcut
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -491,11 +492,14 @@ type instance struct {
 
 	// Bulk-run state shared by the resident worker loops: the double-
 	// buffered exchange buffer (cycle i publishes to xbuf[i&1] while pulls
-	// read the buffer cycle i-1 filled), the per-cycle barrier, and the
-	// first cycle index the watch accepted (sentinel: the run's k).
+	// read the buffer cycle i-1 filled), the per-cycle barrier, the first
+	// cycle index the watch accepted (sentinel: the run's k; a recovered
+	// worker panic stores -1, below every cycle, to release the cohort),
+	// and the recorded panic the dispatcher re-raises after the join.
 	xbuf   [2][]uint64
 	bar    kernel.Barrier
 	stopAt atomic.Int64
+	fault  atomic.Pointer[kernel.WorkerPanic]
 }
 
 // Instantiate mints a runnable instance over programs previously built by
@@ -613,49 +617,78 @@ func (in *instance) worker(part int, cmds <-chan workerCmd) {
 	eng := in.engines[part]
 	pubs, pulls := in.plan.pubs[part], in.plan.pulls[part]
 	for c := range cmds {
-		switch c.op {
-		case cmdSettle:
-			eng.Settle()
-		case cmdRun:
-			r := c.run
-			pokes := r.plans[part]
-			pi, last := 0, -1
-			for i := 0; i < r.k; i++ {
-				if i > 0 {
-					src := in.xbuf[(i-1)&1]
-					for _, e := range pulls {
-						eng.PokeSlot(e.q, src[e.xi])
-					}
-				}
-				for pi < len(pokes) && pokes[pi].Cycle <= i {
-					eng.PokeSlot(pokes[pi].Slot, pokes[pi].Value)
-					pi++
-				}
-				eng.Step()
-				dst := in.xbuf[i&1]
-				for _, e := range pubs {
-					dst[e.xi] = eng.PeekSlot(e.q)
-				}
-				if r.watch != nil && part == r.watchPart && r.watch.Accepts(r.watch.Sample(eng)) {
-					in.stopAt.Store(int64(i))
-				}
+		in.runCmd(part, eng, pubs, pulls, c)
+		in.done <- struct{}{}
+	}
+}
+
+// runCmd executes one dispatched command inside a recovery boundary, so a
+// panicking partition never kills its worker or wedges the cohort: done is
+// always sent, and a panic recovered mid-run first releases the barrier —
+// storing a stop cycle below every peer's current cycle and arriving at
+// the one barrier the worker still owes for its incomplete cycle — before
+// being recorded for the dispatcher to re-raise as a [kernel.WorkerPanic].
+func (in *instance) runCmd(part int, eng kernel.Engine, pubs, pulls []xchgEntry, c workerCmd) {
+	// owesBarrier is true exactly while the worker is inside a cycle whose
+	// barrier it has not yet crossed; a panic in the epilogue (after the
+	// final Await) must not arrive at the barrier again, since every peer
+	// has already drained.
+	owesBarrier := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			in.fault.CompareAndSwap(nil, &kernel.WorkerPanic{Val: rec, Stack: debug.Stack()})
+			if owesBarrier {
+				in.stopAt.Store(-1)
 				in.bar.Await()
-				last = i
-				if r.watch != nil && in.stopAt.Load() <= int64(i) {
-					break
-				}
 			}
-			// Epilogue: restore the inter-run invariant — every foreign slot
-			// holds the value its owner last committed — so host peeks, pokes
-			// and the next run's first cycle see current state.
-			if last >= 0 {
-				src := in.xbuf[last&1]
+		}
+	}()
+	switch c.op {
+	case cmdSettle:
+		eng.Settle()
+	case cmdRun:
+		r := c.run
+		pokes := r.plans[part]
+		pi, last := 0, -1
+		for i := 0; i < r.k; i++ {
+			owesBarrier = true
+			if i > 0 {
+				src := in.xbuf[(i-1)&1]
 				for _, e := range pulls {
 					eng.PokeSlot(e.q, src[e.xi])
 				}
 			}
+			for pi < len(pokes) && pokes[pi].Cycle <= i {
+				eng.PokeSlot(pokes[pi].Slot, pokes[pi].Value)
+				pi++
+			}
+			eng.Step()
+			dst := in.xbuf[i&1]
+			for _, e := range pubs {
+				dst[e.xi] = eng.PeekSlot(e.q)
+			}
+			if r.watch != nil && part == r.watchPart && r.watch.Accepts(r.watch.Sample(eng)) {
+				in.stopAt.Store(int64(i))
+			}
+			in.bar.Await()
+			owesBarrier = false
+			last = i
+			// Unconditional: stopAt holds the run's k unless a watch
+			// accepted or a peer's recovered panic stored -1, so every
+			// worker — watched or not — drains when the cohort stops.
+			if in.stopAt.Load() <= int64(i) {
+				break
+			}
 		}
-		in.done <- struct{}{}
+		// Epilogue: restore the inter-run invariant — every foreign slot
+		// holds the value its owner last committed — so host peeks, pokes
+		// and the next run's first cycle see current state.
+		if last >= 0 {
+			src := in.xbuf[last&1]
+			for _, e := range pulls {
+				eng.PokeSlot(e.q, src[e.xi])
+			}
+		}
 	}
 }
 
@@ -667,6 +700,19 @@ func (in *instance) broadcast(c workerCmd) {
 	}
 	for range in.cmds {
 		<-in.done
+	}
+	in.checkFault()
+}
+
+// checkFault re-raises a panic a worker recovered during the preceding
+// dispatch. The instance is poisoned — the panicking partition stopped
+// mid-cycle and skipped its epilogue, so partition state is torn — and its
+// workers are stopped before the panic propagates; callers that recover
+// must discard it.
+func (in *instance) checkFault() {
+	if f := in.fault.Swap(nil); f != nil {
+		in.stopWorkers()
+		panic(f)
 	}
 }
 
@@ -690,15 +736,25 @@ func (in *instance) step() { in.runBulk(kernel.RunSpec{Cycles: 1}) }
 // exactly like live [instance.PokeSlot] calls; a watch is evaluated by the
 // single partition holding the authoritative value, which publishes the
 // stopping cycle through stopAt for the others to observe at the barrier.
+// A spec with a Cancel probe runs in [kernel.CancelCheckCycles] chunks —
+// one broadcast/join round per chunk, the probe polled on the calling
+// goroutine between rounds — so cancellation observes partition state only
+// at cycle boundaries every worker has crossed.
 func (in *instance) runBulk(spec kernel.RunSpec) (ran int, stopped bool) {
-	k := spec.Cycles
-	if k <= 0 {
-		return 0, false
-	}
 	if len(in.engines) == 1 {
 		ran, stopped = kernel.RunEngine(in.engines[0], spec)
 		in.sample()
 		return ran, stopped
+	}
+	return kernel.RunChunked(spec, in.runBulkOnce)
+}
+
+// runBulkOnce is one uninterruptible broadcast of a bulk run; pokes arrive
+// sorted from RunChunked.
+func (in *instance) runBulkOnce(spec kernel.RunSpec) (ran int, stopped bool) {
+	k := spec.Cycles
+	if k <= 0 {
+		return 0, false
 	}
 	run := &bulkRun{k: k, plans: make([][]kernel.PlannedPoke, len(in.engines))}
 	for _, p := range sortedPlanPokes(spec.Pokes) {

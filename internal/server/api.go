@@ -125,14 +125,44 @@ type CommandsRequest struct {
 }
 
 // CommandsResponse answers a command batch. When execution stops early
-// (unknown signal, wait timeout, budget exceeded) Outcomes holds the
-// completed prefix and Error the failure; the session stays usable.
+// (unknown signal, wait timeout, budget exceeded, deadline, cancellation)
+// Outcomes holds the completed prefix and Error the failure — the cycles
+// the prefix simulated are real engine state; Kind classifies the failure
+// for programmatic handling. The session stays usable except after a
+// panic (Kind "panic"), which quarantines it.
 type CommandsResponse struct {
 	Outcomes []testbench.Outcome `json:"outcomes"`
 	// Cycle is the session's completed-cycle count after the batch.
 	Cycle int64  `json:"cycle"`
 	Error string `json:"error,omitempty"`
+	Kind  string `json:"kind,omitempty"`
 }
+
+// Error kinds: the machine-readable classification carried by
+// [ErrorResponse.Kind] and [CommandsResponse.Kind] so clients can
+// distinguish failure modes without parsing messages.
+const (
+	// KindPanic marks a recovered panic (500). The session involved, if
+	// any, was quarantined; the work's effects must be presumed lost.
+	KindPanic = "panic"
+	// KindTimeout marks a deadline expiry (504). For command lists the
+	// completed prefix is reported and its engine state is real.
+	KindTimeout = "timeout"
+	// KindCanceled marks a run stopped because its session was deleted
+	// mid-flight (410).
+	KindCanceled = "canceled"
+	// KindDraining marks work rejected during graceful shutdown (503 with
+	// Retry-After).
+	KindDraining = "draining"
+	// KindCircuitOpen marks a compile short-circuited by the per-design
+	// breaker after repeated failures (503 with Retry-After).
+	KindCircuitOpen = "circuit_open"
+	// KindBackpressure marks pool or per-client saturation (429 with
+	// Retry-After).
+	KindBackpressure = "backpressure"
+	// KindGone marks a request against a released session (410).
+	KindGone = "gone"
+)
 
 // LogEntry is one recorded command of a session's transaction log,
 // stamped with the cycle at which it started executing. Replaying the
@@ -153,14 +183,29 @@ type LogResponse struct {
 	Entries []LogEntry `json:"entries"`
 }
 
-// HealthResponse answers GET /healthz.
+// HealthResponse answers GET /healthz — pure liveness: 200 whenever the
+// process can serve HTTP at all, drain or no drain. Load balancers that
+// must stop routing new work watch /readyz instead.
 type HealthResponse struct {
 	Status   string `json:"status"`
 	Designs  int    `json:"designs"`
 	Sessions int    `json:"sessions"`
 }
 
-// ErrorResponse is the body of every non-2xx answer.
+// ReadyResponse answers GET /readyz — readiness: 200 with status "ready"
+// while the server accepts new work, 503 with status "draining" during
+// graceful shutdown, and 503 with status "degraded" when no compiled
+// design is servable and at least one design's compile is circuit-broken.
+type ReadyResponse struct {
+	Status      string `json:"status"`
+	Draining    bool   `json:"draining"`
+	Designs     int    `json:"designs"`
+	CircuitOpen int    `json:"circuit_open"`
+}
+
+// ErrorResponse is the body of every non-2xx answer. Kind, when set,
+// classifies the failure (see the Kind* constants).
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
 }

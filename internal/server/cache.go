@@ -2,9 +2,13 @@ package server
 
 import (
 	"container/list"
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"rteaal/internal/faultinject"
 	"rteaal/sim"
 )
 
@@ -15,15 +19,38 @@ import (
 // that design; evicting an entry closes its pool (idle sessions drain,
 // checked-out sessions retire on Put).
 type designCache struct {
-	mu       sync.Mutex
-	max      int
-	poolCap  int
-	now      func() time.Time
-	entries  map[string]*cacheEntry
-	lru      *list.List // of *cacheEntry; front = most recently used
-	inflight map[string]*compileCall
+	mu        sync.Mutex
+	max       int
+	poolCap   int
+	failLimit int           // consecutive compile failures that trip a breaker
+	cooldown  time.Duration // how long a tripped breaker short-circuits
+	now       func() time.Time
+	entries   map[string]*cacheEntry
+	lru       *list.List // of *cacheEntry; front = most recently used
+	inflight  map[string]*compileCall
+	breakers  map[string]*breakerState
 
-	hits, misses, evictions, dedups uint64
+	hits, misses, evictions, dedups, trips uint64
+}
+
+// breakerState tracks one design hash's compile-failure circuit breaker.
+// After failLimit consecutive failures the breaker opens: compiles of that
+// hash short-circuit with errCircuitOpen until the cooldown elapses, at
+// which point one probe compile is allowed through (half-open); its failure
+// re-opens the breaker, its success clears it.
+type breakerState struct {
+	fails     int
+	openUntil time.Time
+}
+
+// errCircuitOpen is the short-circuit answer for a tripped breaker,
+// carrying the Retry-After the client should honor.
+type errCircuitOpen struct {
+	retryAfter time.Duration
+}
+
+func (e errCircuitOpen) Error() string {
+	return fmt.Sprintf("compile circuit open after repeated failures; retry in %s", e.retryAfter.Round(time.Second))
 }
 
 // cacheEntry is one cached design plus its serving pool.
@@ -42,14 +69,17 @@ type compileCall struct {
 	err   error
 }
 
-func newDesignCache(maxEntries, poolCap int, now func() time.Time) *designCache {
+func newDesignCache(maxEntries, poolCap, failLimit int, cooldown time.Duration, now func() time.Time) *designCache {
 	return &designCache{
-		max:      maxEntries,
-		poolCap:  poolCap,
-		now:      now,
-		entries:  make(map[string]*cacheEntry),
-		lru:      list.New(),
-		inflight: make(map[string]*compileCall),
+		max:       maxEntries,
+		poolCap:   poolCap,
+		failLimit: failLimit,
+		cooldown:  cooldown,
+		now:       now,
+		entries:   make(map[string]*cacheEntry),
+		lru:       list.New(),
+		inflight:  make(map[string]*compileCall),
+		breakers:  make(map[string]*breakerState),
 	}
 }
 
@@ -71,8 +101,12 @@ func (c *designCache) lookup(hash string) (*cacheEntry, bool) {
 // getOrCompile returns the entry for hash, compiling it with compile at
 // most once across all concurrent callers. cached reports whether the
 // caller was served without running its own compile (an existing entry or
-// a joined in-flight one).
-func (c *designCache) getOrCompile(hash string, compile func() (*sim.Design, error)) (e *cacheEntry, cached bool, err error) {
+// a joined in-flight one). A joiner whose ctx expires abandons the wait
+// with ctx.Err(); the compile itself keeps running for the other joiners.
+// A panic inside compile is recovered into a *panicFault error — the
+// single-flight channel always closes, so joiners can never hang on a
+// crashed compile — and counts as a breaker failure like any other.
+func (c *designCache) getOrCompile(ctx context.Context, hash string, compile func() (*sim.Design, error)) (e *cacheEntry, cached bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[hash]; ok {
 		c.hits++
@@ -84,15 +118,23 @@ func (c *designCache) getOrCompile(hash string, compile func() (*sim.Design, err
 		// Another client is compiling this very design: join it.
 		c.dedups++
 		c.mu.Unlock()
-		<-call.done
-		return call.entry, true, call.err
+		select {
+		case <-call.done:
+			return call.entry, true, call.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	if err := c.breakerCheckLocked(hash); err != nil {
+		c.mu.Unlock()
+		return nil, false, err
 	}
 	c.misses++
 	call := &compileCall{done: make(chan struct{})}
 	c.inflight[hash] = call
 	c.mu.Unlock()
 
-	d, err := compile()
+	d, err := compileRecover(compile)
 
 	c.mu.Lock()
 	delete(c.inflight, hash)
@@ -103,6 +145,7 @@ func (c *designCache) getOrCompile(hash string, compile func() (*sim.Design, err
 			evict = c.evictOverflowLocked()
 		}
 	}
+	c.breakerRecordLocked(hash, err)
 	call.err = err
 	c.mu.Unlock()
 	close(call.done)
@@ -111,6 +154,76 @@ func (c *designCache) getOrCompile(hash string, compile func() (*sim.Design, err
 		old.pool.Close()
 	}
 	return call.entry, false, err
+}
+
+// compileRecover runs the compile inside a recovery boundary (plus the
+// fault-injection points tests arm to exercise it).
+func compileRecover(compile func() (*sim.Design, error)) (d *sim.Design, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d, err = nil, &panicFault{val: r, stack: debug.Stack()}
+		}
+	}()
+	if ferr := faultinject.Fire(faultinject.CompilePanic); ferr != nil {
+		panic(ferr)
+	}
+	if ferr := faultinject.Fire(faultinject.CompileFail); ferr != nil {
+		return nil, ferr
+	}
+	return compile()
+}
+
+// breakerCheckLocked short-circuits a compile whose breaker is open. Past
+// the cooldown the breaker goes half-open: this probe is allowed through,
+// and breakerRecordLocked decides whether it re-opens or clears.
+func (c *designCache) breakerCheckLocked(hash string) error {
+	if c.failLimit <= 0 {
+		return nil
+	}
+	b := c.breakers[hash]
+	if b == nil || b.fails < c.failLimit {
+		return nil
+	}
+	if remain := b.openUntil.Sub(c.now()); remain > 0 {
+		return errCircuitOpen{retryAfter: remain}
+	}
+	return nil
+}
+
+// breakerRecordLocked accounts one compile attempt's result against the
+// hash's breaker: failures accumulate and (re-)open it at the limit,
+// success clears it.
+func (c *designCache) breakerRecordLocked(hash string, err error) {
+	if c.failLimit <= 0 {
+		return
+	}
+	if err == nil {
+		delete(c.breakers, hash)
+		return
+	}
+	b := c.breakers[hash]
+	if b == nil {
+		b = &breakerState{}
+		c.breakers[hash] = b
+	}
+	b.fails++
+	if b.fails >= c.failLimit {
+		b.openUntil = c.now().Add(c.cooldown)
+		c.trips++
+	}
+}
+
+// breakerStats reports lifetime trips and how many hashes are open now.
+func (c *designCache) breakerStats() (trips uint64, open int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	for _, b := range c.breakers {
+		if b.fails >= c.failLimit && b.openUntil.After(now) {
+			open++
+		}
+	}
+	return c.trips, open
 }
 
 func (c *designCache) insertLocked(hash string, d *sim.Design) (*cacheEntry, error) {
@@ -201,6 +314,7 @@ func (c *designCache) stats() (CacheMetrics, map[string]PoolMetrics) {
 			HighWater:  st.HighWater,
 			Checkouts:  st.Checkouts,
 			Reaped:     st.Reaped,
+			Discarded:  st.Discarded,
 		}
 	}
 	return cm, pm

@@ -1,11 +1,61 @@
 package server
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 
+	"rteaal/internal/faultinject"
 	"rteaal/internal/testbench"
 	"rteaal/sim"
 )
+
+// panicFault is a recovered panic carried as an error through the exec
+// layer so handlers can map it to a typed 500 and quarantine the resource
+// it escaped from. The stack is captured at the recovery site.
+type panicFault struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicFault) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// asPanicFault unwraps err to a *panicFault if one is in the chain.
+// Kernel-level worker panics (kernel.WorkerPanic) surface as real panics
+// re-raised on the dispatching goroutine and are caught by the recover in
+// runCommandsRecover, so a single type covers both origins here.
+func asPanicFault(err error) (*panicFault, bool) {
+	var pf *panicFault
+	if err != nil && errors.As(err, &pf) {
+		return pf, true
+	}
+	return nil, false
+}
+
+// runCommandsRecover is the panic boundary for command execution: a panic
+// anywhere in the batch — a kernel worker fault re-raised by the dispatch
+// join, or a bug in the exec path itself — is converted to a *panicFault
+// error instead of unwinding into the HTTP stack. The outcomes and cycle
+// count accumulated before the panic are lost by design: a panicked engine's
+// state is suspect, so the caller quarantines the session rather than
+// reporting a prefix.
+func runCommandsRecover(tb *sim.Testbench, cmds []testbench.Command, maxCyclesPerCommand int64) (outcomes []testbench.Outcome, cycles int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			outcomes, cycles = nil, 0
+			err = &panicFault{val: r, stack: debug.Stack()}
+		}
+	}()
+	if ferr := faultinject.Fire(faultinject.RunPanic); ferr != nil {
+		panic(ferr)
+	}
+	if ferr := faultinject.Fire(faultinject.SlowRun); ferr != nil {
+		// SlowRun hooks sleep inside Fire; an error return additionally
+		// fails the batch, letting tests model a stall that errors out.
+		return nil, 0, ferr
+	}
+	return runCommands(tb, cmds, maxCyclesPerCommand)
+}
 
 // runCommands executes a validated wire command batch in order against a
 // session's testbench, returning one Outcome per completed command and the

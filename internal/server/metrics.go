@@ -12,6 +12,7 @@ type MetricsResponse struct {
 	Cache     CacheMetrics               `json:"cache"`
 	Sessions  SessionMetrics             `json:"sessions"`
 	Work      WorkMetrics                `json:"work"`
+	Fault     FaultMetrics               `json:"fault"`
 	Pools     map[string]PoolMetrics     `json:"pools"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }
@@ -38,6 +39,33 @@ type PoolMetrics struct {
 	HighWater  int    `json:"high_water"`
 	Checkouts  uint64 `json:"checkouts"`
 	Reaped     uint64 `json:"reaped"`
+	// Discarded counts sessions quarantined after a fault instead of being
+	// re-pooled; each one was replaced by fresh creation budget.
+	Discarded uint64 `json:"discarded"`
+}
+
+// FaultMetrics reports the service's fault-handling activity: every
+// counter here is a failure the server absorbed without going down.
+type FaultMetrics struct {
+	// PanicsRecovered counts panics caught at the exec boundary — compile,
+	// session creation, or command execution — and converted to typed 500s.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// Timeouts counts command lists or requests stopped by a deadline.
+	Timeouts uint64 `json:"timeouts"`
+	// Canceled counts runs aborted because their session was deleted
+	// mid-flight.
+	Canceled uint64 `json:"canceled"`
+	// DrainRejected counts work turned away with 503 during shutdown drain.
+	DrainRejected uint64 `json:"drain_rejected"`
+	// SessionsQuarantined counts leases torn down because their engine
+	// panicked; the pooled session behind each was discarded, not re-pooled.
+	SessionsQuarantined uint64 `json:"sessions_quarantined"`
+	// CircuitTrips counts compile circuit breakers tripped open;
+	// CircuitOpen is how many design hashes are short-circuited right now.
+	CircuitTrips uint64 `json:"circuit_trips"`
+	CircuitOpen  int    `json:"circuit_open"`
+	// Draining reports whether the server is in graceful shutdown.
+	Draining bool `json:"draining"`
 }
 
 // SessionMetrics reports lease churn across all designs.
@@ -73,6 +101,14 @@ type metrics struct {
 	endpoints        map[string]*EndpointMetrics
 	cyclesSimulated  uint64
 	commandsExecuted uint64
+
+	// Fault counters (see FaultMetrics); monotonic, guarded by mu. The
+	// quarantine, breaker, and drain-state figures live with their owners
+	// (session registry, design cache, server) and are merged by /metrics.
+	panicsRecovered uint64
+	timeouts        uint64
+	canceled        uint64
+	drainRejected   uint64
 }
 
 func newMetrics() *metrics {
@@ -107,12 +143,30 @@ func (m *metrics) addWork(cycles int64, commands int) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) snapshot() (WorkMetrics, map[string]EndpointMetrics) {
+// Fault counter bumps; each maps to one field of FaultMetrics.
+func (m *metrics) panicRecovered() { m.bump(&m.panicsRecovered) }
+func (m *metrics) timedOut()       { m.bump(&m.timeouts) }
+func (m *metrics) runCanceled()    { m.bump(&m.canceled) }
+func (m *metrics) drainReject()    { m.bump(&m.drainRejected) }
+
+func (m *metrics) bump(c *uint64) {
+	m.mu.Lock()
+	*c++
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() (WorkMetrics, FaultMetrics, map[string]EndpointMetrics) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	eps := make(map[string]EndpointMetrics, len(m.endpoints))
 	for k, v := range m.endpoints {
 		eps[k] = *v
 	}
-	return WorkMetrics{CyclesSimulated: m.cyclesSimulated, CommandsExecuted: m.commandsExecuted}, eps
+	fm := FaultMetrics{
+		PanicsRecovered: m.panicsRecovered,
+		Timeouts:        m.timeouts,
+		Canceled:        m.canceled,
+		DrainRejected:   m.drainRejected,
+	}
+	return WorkMetrics{CyclesSimulated: m.cyclesSimulated, CommandsExecuted: m.commandsExecuted}, fm, eps
 }

@@ -33,7 +33,9 @@ func newTestService(t *testing.T, cfg server.Config) (*server.Server, *client.Cl
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return srv, client.New(ts.URL, client.WithClientID("test"))
+	// Retries off: these tests assert immediate error surfacing (429s and
+	// friends must not be ridden out by the client's backoff loop).
+	return srv, client.New(ts.URL, client.WithClientID("test"), client.WithoutRetry())
 }
 
 // refExec executes a wire command list against an in-process testbench
@@ -211,6 +213,24 @@ func TestWireParity(t *testing.T) {
 					t.Errorf("replayed outcome %d: %+v, log recorded %+v", i, got[i], lg.Entries[i].Outcome)
 				}
 			}
+
+			// A clean parity run must not have tripped any of the fault
+			// machinery: no recovered panics, timeouts, cancellations,
+			// drain rejections, quarantines, or open breakers.
+			m, err := c.Metrics(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f := m.Fault; f.PanicsRecovered != 0 || f.Timeouts != 0 || f.Canceled != 0 ||
+				f.DrainRejected != 0 || f.SessionsQuarantined != 0 ||
+				f.CircuitTrips != 0 || f.CircuitOpen != 0 || f.Draining {
+				t.Errorf("fault metrics after clean run: %+v", m.Fault)
+			}
+			for h, pm := range m.Pools {
+				if pm.Discarded != 0 {
+					t.Errorf("pool %s discarded %d sessions on a clean run", h, pm.Discarded)
+				}
+			}
 		})
 	}
 }
@@ -309,7 +329,7 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c := client.New(base.BaseURL(), client.WithClientID(fmt.Sprintf("client-%d", i)))
+			c := client.New(base.BaseURL(), client.WithClientID(fmt.Sprintf("client-%d", i)), client.WithoutRetry())
 			step := uint64(i%7 + 1)
 			for r := 0; r < rounds; r++ {
 				var sess *client.Session

@@ -1,11 +1,15 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"rteaal/internal/faultinject"
 	"rteaal/sim"
 )
 
@@ -29,6 +33,12 @@ type lease struct {
 	sess   *sim.Session // pooled scalar/partitioned session; nil for batches
 	batch  *sim.Batch   // multi-lane batch; nil for pooled sessions
 
+	// abort asks an in-flight command batch to stop at its next chunk
+	// boundary. release sets it before waiting on mu, so a DELETE (or TTL
+	// eviction, or shutdown) of a session mid-run cancels the run instead
+	// of queueing behind megacycles of simulation.
+	abort atomic.Bool
+
 	mu      sync.Mutex // serialises execution and release
 	gone    bool       // released or evicted; engine no longer owned
 	log     []LogEntry
@@ -37,8 +47,11 @@ type lease struct {
 
 // release returns the lease's engine: pooled sessions go back to the pool
 // (which retires them if it has closed), batches close their workers.
-// Idempotent under l.mu.
+// An in-flight command batch is asked to cancel first (see abort); release
+// then waits for it to unwind before reclaiming the engine. Idempotent
+// under l.mu.
 func (l *lease) release() {
+	l.abort.Store(true)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.gone {
@@ -69,7 +82,7 @@ type sessionRegistry struct {
 	byClient map[string]int
 	nextID   uint64
 
-	created, released, evicted uint64
+	created, released, evicted, quarantined uint64
 }
 
 func newSessionRegistry(maxPerClient, maxLanes int, ttl time.Duration, now func() time.Time) *sessionRegistry {
@@ -85,10 +98,14 @@ func newSessionRegistry(maxPerClient, maxLanes int, ttl time.Duration, now func(
 }
 
 // create leases a new session of entry's design for client. lanes == 0
-// checks a scalar session out of the design's elastic pool (non-blocking:
-// saturation surfaces as sim.ErrPoolExhausted for the 429 path); lanes > 0
-// mints a dedicated multi-lane batch.
-func (r *sessionRegistry) create(entry *cacheEntry, client string, lanes int) (*lease, error) {
+// checks a scalar session out of the design's elastic pool; lanes > 0
+// mints a dedicated multi-lane batch. With wait == 0 pool saturation
+// surfaces immediately as sim.ErrPoolExhausted (the 429 path); wait > 0
+// blocks up to that long (bounded additionally by ctx) for a session to
+// free up before giving up the same way. Instantiation runs inside a
+// recovery boundary: a panic minting the engine unwinds as a *panicFault
+// with the per-client reservation returned, never a leaked slot.
+func (r *sessionRegistry) create(ctx context.Context, entry *cacheEntry, client string, lanes int, wait time.Duration) (_ *lease, err error) {
 	if lanes < 0 || lanes > r.maxLanes {
 		return nil, fmt.Errorf("server: lanes must be in [0,%d], got %d", r.maxLanes, lanes)
 	}
@@ -100,26 +117,55 @@ func (r *sessionRegistry) create(entry *cacheEntry, client string, lanes int) (*
 	r.byClient[client]++ // reserve the slot before the pool work
 	r.mu.Unlock()
 
-	l := &lease{client: client, entry: entry}
-	var err error
-	if lanes > 0 {
-		l.batch, err = entry.design.NewBatch(lanes)
-		if err == nil {
-			l.tb = l.batch.Testbench()
-		}
-	} else {
-		l.sess, err = entry.pool.TryGet()
-		if err == nil {
-			l.tb = l.sess.Testbench()
-		}
-	}
-	if err != nil {
+	reserved := true
+	unreserve := func() {
 		r.mu.Lock()
 		r.byClient[client]--
 		if r.byClient[client] == 0 {
 			delete(r.byClient, client)
 		}
 		r.mu.Unlock()
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &panicFault{val: rec, stack: debug.Stack()}
+		}
+		if err != nil && reserved {
+			unreserve()
+		}
+	}()
+
+	if ferr := faultinject.Fire(faultinject.SessionPanic); ferr != nil {
+		panic(ferr)
+	}
+	if ferr := faultinject.Fire(faultinject.PoolExhausted); ferr != nil {
+		return nil, sim.ErrPoolExhausted
+	}
+
+	l := &lease{client: client, entry: entry}
+	if lanes > 0 {
+		l.batch, err = entry.design.NewBatch(lanes)
+		if err == nil {
+			l.tb = l.batch.Testbench()
+		}
+	} else {
+		if wait > 0 {
+			wctx, cancel := context.WithTimeout(ctx, wait)
+			l.sess, err = entry.pool.Get(wctx)
+			cancel()
+			if err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+				// The bounded wait elapsed without a free session: same
+				// backpressure signal as the non-blocking path.
+				err = sim.ErrPoolExhausted
+			}
+		} else {
+			l.sess, err = entry.pool.TryGet()
+		}
+		if err == nil {
+			l.tb = l.sess.Testbench()
+		}
+	}
+	if err != nil {
 		return nil, err
 	}
 
@@ -130,6 +176,7 @@ func (r *sessionRegistry) create(entry *cacheEntry, client string, lanes int) (*
 	r.lastUsed[l.id] = r.now()
 	r.created++
 	r.mu.Unlock()
+	reserved = false // ownership transferred to the registered lease
 	return l, nil
 }
 
@@ -152,6 +199,19 @@ func (r *sessionRegistry) removeLocked(l *lease) {
 	if r.byClient[l.client] == 0 {
 		delete(r.byClient, l.client)
 	}
+}
+
+// forget unlinks a quarantined lease from the registry without touching
+// its engine: the caller has already decided the engine is suspect and
+// disposed of it (Pool.Discard / Batch.Close) under the lease's own mu.
+// Safe to call for a lease that a concurrent release/reap already removed.
+func (r *sessionRegistry) forget(l *lease) {
+	r.mu.Lock()
+	if _, ok := r.leases[l.id]; ok {
+		r.removeLocked(l)
+		r.quarantined++
+	}
+	r.mu.Unlock()
 }
 
 // release ends a lease explicitly (DELETE /sessions/{id}).
@@ -209,6 +269,13 @@ func (r *sessionRegistry) closeAll() {
 	for _, l := range all {
 		l.release()
 	}
+}
+
+// quarantineCount reports leases torn down via forget (for FaultMetrics).
+func (r *sessionRegistry) quarantineCount() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.quarantined
 }
 
 // stats snapshots the session counters.

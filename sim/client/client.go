@@ -10,20 +10,66 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"rteaal/internal/server"
 	"rteaal/internal/testbench"
 )
 
+// RetryPolicy shapes the client's automatic retries: capped exponential
+// backoff with jitter, honoring the server's Retry-After on backpressure
+// (429) and unavailability (503) answers. See [Client] for what is and is
+// not retried.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per call (first attempt included);
+	// values below 1 behave as 1 (no retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff step; each retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps every sleep — including a server Retry-After larger
+	// than the client is willing to wait.
+	MaxDelay time.Duration
+	// Jitter spreads each sleep uniformly over ±Jitter (0.2 = ±20%) so
+	// synchronized clients don't re-stampede a recovering server.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the policy New installs: 4 attempts, 25ms base,
+// 2s cap, ±20% jitter.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 4,
+	BaseDelay:   25 * time.Millisecond,
+	MaxDelay:    2 * time.Second,
+	Jitter:      0.2,
+}
+
 // Client talks to one rteaal-serve endpoint.
+//
+// Calls retry automatically under the client's [RetryPolicy], with a
+// classification that never repeats non-idempotent work:
+//
+//   - 429 and 503 answers are retried for every call — the server rejected
+//     the work before doing any of it — sleeping at least the server's
+//     Retry-After (capped by MaxDelay).
+//   - Transport errors (connection refused, reset, dropped mid-response)
+//     are retried only for calls that are safe to repeat: GETs, DELETEs,
+//     and design compiles (content-addressed, so a duplicate is a cache
+//     hit). Session creation and command execution are NOT retried on
+//     transport errors: the server may have done the work, and repeating a
+//     command list would advance the simulation twice.
+//   - Every other status (404, 422, 500, 504, ...) is returned immediately.
 type Client struct {
-	base string
-	http *http.Client
-	id   string
+	base  string
+	http  *http.Client
+	id    string
+	retry RetryPolicy
 }
 
 // Option configures a Client.
@@ -36,9 +82,17 @@ func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h
 // session limits (default: the connection's remote host).
 func WithClientID(id string) Option { return func(c *Client) { c.id = id } }
 
+// WithRetry substitutes the retry policy.
+func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.retry = p } }
+
+// WithoutRetry disables automatic retries: every call maps to exactly one
+// HTTP request and every failure surfaces immediately (tests, callers
+// running their own retry loop).
+func WithoutRetry() Option { return func(c *Client) { c.retry = RetryPolicy{MaxAttempts: 1} } }
+
 // New builds a client for the service at base, e.g. "http://localhost:8382".
 func New(base string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+	c := &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient, retry: DefaultRetryPolicy}
 	for _, o := range opts {
 		o(c)
 	}
@@ -52,28 +106,100 @@ func (c *Client) BaseURL() string { return c.base }
 type APIError struct {
 	Status  int
 	Message string
+	// Kind is the server's machine-readable failure class (the server
+	// package's Kind* constants: "panic", "timeout", "draining", ...).
+	Kind string
+	// RetryAfter is the server's Retry-After hint, when it sent one.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("client: server answered %d: %s", e.Status, e.Message)
 }
 
-// do runs one JSON round-trip. A nil out discards the body; a non-2xx
-// status decodes the error envelope into an *APIError.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+// do runs one JSON call with the client's retry policy. idem marks calls
+// that are safe to repeat after a transport error; see [Client] for the
+// classification. A nil out discards the body; a non-2xx status decodes
+// the error envelope into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idem bool) error {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
+	}
+	attempts := max(c.retry.MaxAttempts, 1)
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, data, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		retryAfter, ok := retryable(err, idem)
+		if !ok || attempt >= attempts {
+			return err
+		}
+		if c.backoff(ctx, attempt, retryAfter) != nil {
+			return err // the caller's context expired mid-backoff
+		}
+	}
+}
+
+// retryable classifies one failure: may the call be repeated, and with
+// what server-requested minimum delay?
+func retryable(err error, idem bool) (time.Duration, bool) {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Backpressure and drain reject before any work runs: safe to
+			// retry regardless of the call's idempotency.
+			return apiErr.RetryAfter, true
+		}
+		return 0, false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	// Transport error: the server may or may not have executed the work,
+	// so only idempotent calls go again.
+	return 0, idem
+}
+
+// backoff sleeps the attempt's capped, jittered exponential delay (at
+// least retryAfter), or returns early with the context's error.
+func (c *Client) backoff(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := c.retry.BaseDelay << (attempt - 1)
+	if d < retryAfter {
+		d = retryAfter
+	}
+	if c.retry.MaxDelay > 0 && d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	if j := c.retry.Jitter; j > 0 && d > 0 {
+		d = time.Duration(float64(d) * (1 + j*(2*rand.Float64()-1)))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// doOnce runs exactly one HTTP round-trip.
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if c.id != "" {
@@ -86,16 +212,21 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var apiErr server.ErrorResponse
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		if json.Unmarshal(data, &apiErr) != nil || apiErr.Error == "" {
-			apiErr.Error = strings.TrimSpace(string(data))
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(raw, &apiErr) != nil || apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(raw))
 		}
 		// A failed command batch still carries the completed prefix;
 		// surface it through out alongside the error.
 		if out != nil {
-			json.Unmarshal(data, out) //nolint:errcheck // best-effort partial body
+			json.Unmarshal(raw, out) //nolint:errcheck // best-effort partial body
 		}
-		return &APIError{Status: resp.StatusCode, Message: apiErr.Error}
+		return &APIError{
+			Status:     resp.StatusCode,
+			Message:    apiErr.Error,
+			Kind:       apiErr.Kind,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil
@@ -106,12 +237,27 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return nil
 }
 
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form this server emits); anything else is no hint.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // Compile posts FIRRTL source (plus compile options) and returns the
 // design's cache entry. Posting a design the server already holds is
-// answered from the cross-user cache without recompiling.
+// answered from the cross-user cache without recompiling — which is also
+// what makes this POST safe to retry on transport errors: a duplicate
+// compile of the same content hash is a cache hit, not doubled work.
 func (c *Client) Compile(ctx context.Context, source string, opts server.CompileOptions) (*server.CompileResponse, error) {
 	var resp server.CompileResponse
-	err := c.do(ctx, http.MethodPost, "/designs", server.CompileRequest{Source: source, Options: opts}, &resp)
+	err := c.do(ctx, http.MethodPost, "/designs", server.CompileRequest{Source: source, Options: opts}, &resp, true)
 	if err != nil {
 		return nil, err
 	}
@@ -121,16 +267,26 @@ func (c *Client) Compile(ctx context.Context, source string, opts server.Compile
 // Design fetches a cached design's description by hash.
 func (c *Client) Design(ctx context.Context, hash string) (*server.CompileResponse, error) {
 	var resp server.CompileResponse
-	if err := c.do(ctx, http.MethodGet, "/designs/"+hash, nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/designs/"+hash, nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Health fetches GET /healthz.
+// Health fetches GET /healthz (liveness).
 func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
 	var resp server.HealthResponse
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Ready fetches GET /readyz (readiness). A draining or degraded server
+// answers 503, which surfaces as an *APIError after the retry budget.
+func (c *Client) Ready(ctx context.Context) (*server.ReadyResponse, error) {
+	var resp server.ReadyResponse
+	if err := c.do(ctx, http.MethodGet, "/readyz", nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -139,7 +295,7 @@ func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
 // Metrics fetches GET /metrics.
 func (c *Client) Metrics(ctx context.Context) (*server.MetricsResponse, error) {
 	var resp server.MetricsResponse
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -156,7 +312,7 @@ func (c *Client) NewSession(ctx context.Context, hash string, lanes int) (*Sessi
 		// than being silently normalized here.
 		in = server.CreateSessionRequest{Lanes: lanes}
 	}
-	if err := c.do(ctx, http.MethodPost, "/designs/"+hash+"/sessions", in, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/designs/"+hash+"/sessions", in, &resp, false); err != nil {
 		return nil, err
 	}
 	return &Session{c: c, ID: resp.SessionID, Hash: resp.Hash, Lanes: resp.Lanes}, nil
@@ -172,7 +328,10 @@ type Session struct {
 
 // Do executes a batched command script on the session, in order, and
 // returns the outcomes. On an execution failure the returned response
-// still holds the completed prefix next to the *APIError.
+// still holds the completed prefix next to the *APIError. Command lists
+// are never retried after a transport error — the server may already have
+// simulated them, and repeating would advance the session twice — but
+// 429/503 rejections (no work done) still back off and retry.
 func (s *Session) Do(ctx context.Context, script *Script) (*server.CommandsResponse, error) {
 	data, err := testbench.EncodeCommands(script.cmds)
 	if err != nil {
@@ -180,7 +339,7 @@ func (s *Session) Do(ctx context.Context, script *Script) (*server.CommandsRespo
 	}
 	var resp server.CommandsResponse
 	err = s.c.do(ctx, http.MethodPost, "/sessions/"+s.ID+"/commands",
-		server.CommandsRequest{Commands: data}, &resp)
+		server.CommandsRequest{Commands: data}, &resp, false)
 	if err != nil {
 		return &resp, err
 	}
@@ -218,15 +377,17 @@ func (s *Session) Wait(ctx context.Context, lane int, signal string, pred func(u
 // Log fetches the session's recorded, replayable transaction log.
 func (s *Session) Log(ctx context.Context) (*server.LogResponse, error) {
 	var resp server.LogResponse
-	if err := s.c.do(ctx, http.MethodGet, "/sessions/"+s.ID+"/log", nil, &resp); err != nil {
+	if err := s.c.do(ctx, http.MethodGet, "/sessions/"+s.ID+"/log", nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Close releases the session back to the server's pool.
+// Close releases the session back to the server's pool. DELETE is
+// idempotent on the server (a repeat answers 404), so transport errors
+// retry.
 func (s *Session) Close(ctx context.Context) error {
-	return s.c.do(ctx, http.MethodDelete, "/sessions/"+s.ID, nil, nil)
+	return s.c.do(ctx, http.MethodDelete, "/sessions/"+s.ID, nil, nil, true)
 }
 
 // Script accumulates a batched command list. Methods append one command

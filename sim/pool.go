@@ -44,6 +44,7 @@ type Pool struct {
 	closed    bool
 	checkouts uint64 // successful Gets since construction
 	reaped    uint64 // sessions closed by ReapIdle
+	discarded uint64 // sessions quarantined by Discard
 	live      int    // sessions minted and not yet reaped or drained
 	highWater int    // maximum of live over the pool's lifetime
 }
@@ -97,19 +98,36 @@ func (p *Pool) Get(ctx context.Context) (*Session, error) {
 	case s := <-p.free:
 		return p.checkout(s, false), nil
 	case <-p.mint:
-		return p.checkout(p.d.NewSession(), true), nil
+		return p.mintCheckout(), nil
 	default:
 	}
 	select {
 	case s := <-p.free:
 		return p.checkout(s, false), nil
 	case <-p.mint:
-		return p.checkout(p.d.NewSession(), true), nil
+		return p.mintCheckout(), nil
 	case <-p.done:
 		return nil, ErrPoolClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// mintCheckout spends one unit of creation budget (the caller already
+// received the token) on a fresh session. If instantiation panics — a
+// poisoned design taking down session minting — the token goes back before
+// the panic propagates, so the pool's budget accounting survives the
+// failure and a later Get can try again.
+func (p *Pool) mintCheckout() *Session {
+	ok := false
+	defer func() {
+		if !ok {
+			p.mint <- struct{}{} // cannot block: the caller just took this token
+		}
+	}()
+	s := p.d.NewSession()
+	ok = true
+	return p.checkout(s, true)
 }
 
 // TryGet checks a session out without blocking. When the pool is saturated
@@ -125,7 +143,7 @@ func (p *Pool) TryGet() (*Session, error) {
 	case s := <-p.free:
 		return p.checkout(s, false), nil
 	case <-p.mint:
-		return p.checkout(p.d.NewSession(), true), nil
+		return p.mintCheckout(), nil
 	default:
 		return nil, ErrPoolExhausted
 	}
@@ -166,6 +184,10 @@ type PoolStats struct {
 	Checkouts uint64
 	// Reaped counts idle sessions closed by [Pool.ReapIdle].
 	Reaped uint64
+	// Discarded counts checked-out sessions quarantined by [Pool.Discard]
+	// instead of being returned — each one a suspect engine a server chose
+	// not to re-pool.
+	Discarded uint64
 	// Closed reports whether [Pool.Close] has been called.
 	Closed bool
 }
@@ -183,6 +205,7 @@ func (p *Pool) Stats() PoolStats {
 		HighWater:  p.highWater,
 		Checkouts:  p.checkouts,
 		Reaped:     p.reaped,
+		Discarded:  p.discarded,
 		Closed:     p.closed,
 	}
 }
@@ -222,6 +245,34 @@ func (p *Pool) Put(s *Session) {
 	p.idleSince[s] = p.now()
 	p.free <- s // under mu and buffered: every checked-out session has a slot
 	p.mu.Unlock()
+}
+
+// Discard checks a session out of the pool for good: instead of being
+// re-pooled it is closed, and its slot returns to the lazy-creation budget
+// so the pool mints a clean replacement on a later Get. This is the
+// quarantine path for engines in a suspect state — a session whose run
+// panicked must never be handed to another caller. Like [Pool.Put],
+// Discard panics if s is not currently checked out of this pool.
+func (p *Pool) Discard(s *Session) {
+	if s == nil || s.d != p.d {
+		panic("sim: Pool.Discard of session from a different design")
+	}
+	p.mu.Lock()
+	ok := p.out[s]
+	delete(p.out, s)
+	if ok {
+		p.live--
+		p.discarded++
+	}
+	closed := p.closed
+	if ok && !closed {
+		p.mint <- struct{}{} // under mu and buffered: the session held a slot
+	}
+	p.mu.Unlock()
+	if !ok {
+		panic("sim: Pool.Discard without matching Get")
+	}
+	s.Close()
 }
 
 // ReapIdle closes every session that has sat idle in the free-list for at

@@ -129,6 +129,107 @@ func TestPoolContextCancellation(t *testing.T) {
 	p.Put(s2)
 }
 
+// TestPoolGetCancelPrompt: cancelling the context of a blocked Get wakes
+// it promptly with the context's error, without charging a checkout or
+// perturbing the free-list — the session released afterwards is still
+// available to the next caller.
+func TestPoolGetCancelPrompt(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkoutsBefore := p.Stats().Checkouts
+
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := p.Get(ctx)
+		blocked <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the Get reach its blocking select
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-blocked:
+		if err != context.Canceled {
+			t.Fatalf("cancelled Get returned %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled Get still blocked after 1s")
+	}
+	if waited := time.Since(start); waited > 200*time.Millisecond {
+		t.Errorf("cancelled Get took %s to return", waited)
+	}
+
+	// The failed Get charged nothing and leaked nothing.
+	st := p.Stats()
+	if st.Checkouts != checkoutsBefore || st.CheckedOut != 1 || st.Live != 1 {
+		t.Fatalf("stats after cancelled Get = %+v, want unchanged (1 checkout live)", st)
+	}
+	p.Put(held)
+	s, err := p.Get(context.Background())
+	if err != nil {
+		t.Fatalf("Get after cancelled waiter: %v", err)
+	}
+	p.Put(s)
+	p.Close()
+}
+
+// TestPoolDiscard covers the quarantine path: a discarded session is
+// closed instead of re-pooled, its slot returns to the mint budget so the
+// pool grows a clean replacement, the counter advances, and misuse (a
+// second Discard of the same session) panics like a double Put would.
+func TestPoolDiscard(t *testing.T) {
+	d, err := sim.Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewPool(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s, err := p.Get(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke("step", 3); err != nil { // dirty the engine
+		t.Fatal(err)
+	}
+	p.Discard(s)
+	if st := p.Stats(); st.Discarded != 1 || st.Live != 0 || st.CheckedOut != 0 {
+		t.Fatalf("stats after Discard = %+v", st)
+	}
+
+	// The replacement is freshly minted, not the quarantined engine.
+	fresh, err := p.Get(ctx)
+	if err != nil {
+		t.Fatalf("Get after Discard: %v", err)
+	}
+	if fresh == s {
+		t.Fatal("Discard re-pooled the quarantined session")
+	}
+	if got := fresh.Cycle(); got != 0 {
+		t.Fatalf("replacement session not fresh: cycle %d", got)
+	}
+	p.Put(fresh)
+
+	defer func() {
+		if recover() == nil {
+			t.Error("second Discard of the same session did not panic")
+		}
+	}()
+	p.Discard(s)
+}
+
 func TestPoolMisuse(t *testing.T) {
 	d, err := sim.Compile(counterSrc)
 	if err != nil {

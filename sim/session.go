@@ -114,8 +114,17 @@ func (s *Session) runBulk(spec kernel.RunSpec) (ran int, stopped bool, err error
 		if sr, ok := s.eng.(kernel.SpecRunner); ok {
 			ran, stopped = sr.RunBulk(spec)
 		} else if br, ok := s.eng.(kernel.BulkRunner); ok && len(spec.Pokes) == 0 && spec.Watch == nil {
-			br.RunCycles(spec.Cycles)
-			ran = spec.Cycles
+			if spec.Cancel != nil {
+				// Keep the devirtualised RunCycles loop, chunked so the
+				// cancellation probe is still polled at chunk boundaries.
+				ran, _ = kernel.RunChunked(spec, func(sub kernel.RunSpec) (int, bool) {
+					br.RunCycles(sub.Cycles)
+					return sub.Cycles, false
+				})
+			} else {
+				br.RunCycles(spec.Cycles)
+				ran = spec.Cycles
+			}
 		} else {
 			ran, stopped = kernel.RunEngine(s.eng, spec)
 		}
@@ -126,6 +135,9 @@ func (s *Session) runBulk(spec kernel.RunSpec) (ran int, stopped bool, err error
 	// would (plans arrive ordered by cycle, see [kernel.RunSpec]).
 	pi := 0
 	for i := 0; i < spec.Cycles; i++ {
+		if spec.Cancel != nil && i%kernel.CancelCheckCycles == 0 && spec.Cancel() {
+			return ran, false, nil
+		}
 		for pi < len(spec.Pokes) && spec.Pokes[pi].Cycle <= i {
 			s.eng.PokeSlot(spec.Pokes[pi].Slot, spec.Pokes[pi].Value)
 			pi++

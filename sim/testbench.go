@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"rteaal/internal/kernel"
@@ -52,7 +53,28 @@ type Testbench struct {
 	// bulk executes a multi-cycle run spec against the bound engine; the
 	// funnel [Testbench.Run] and port waits compile into.
 	bulk func(spec kernel.RunSpec) (ran int, stopped bool, err error)
+	// cancel is the probe installed by [Testbench.SetCancel], threaded into
+	// every bulk run as its [kernel.RunSpec.Cancel].
+	cancel func() bool
 }
+
+// ErrRunCanceled is returned by [Testbench.Run], [Port.Wait], and the
+// transaction helpers when the probe installed with [Testbench.SetCancel]
+// stops a run before it completes. The engine state is consistent — the
+// run ended at a cycle boundary every lane and partition crossed — and the
+// cycles completed before cancellation are reflected in [Testbench.Cycle],
+// so a canceled testbench remains usable.
+var ErrRunCanceled = errors.New("sim: run canceled")
+
+// SetCancel installs a cancellation probe polled at coarse chunk
+// boundaries (every [kernel.CancelCheckCycles] cycles at most) during bulk
+// runs: when the probe returns true, the surrounding Run, Wait, Transact,
+// or Handshake stops at the next boundary and returns [ErrRunCanceled].
+// This is how a server threads a request context's deadline into a
+// resident engine run without putting a check in the per-cycle hot loop.
+// A nil probe clears it. The probe is polled from the calling goroutine
+// only, never from engine workers.
+func (tb *Testbench) SetCancel(probe func() bool) { tb.cancel = probe }
 
 // Testbench binds a transaction-level testbench to the session. The
 // session remains usable directly; the testbench drives it through the
@@ -185,7 +207,7 @@ func (tb *Testbench) runBulk(n int, watch *kernel.Watch) (ran int, stopped bool,
 	}
 	for ran < n {
 		k := min(n-ran, chunk)
-		spec := kernel.RunSpec{Cycles: k, Watch: watch}
+		spec := kernel.RunSpec{Cycles: k, Watch: watch, Cancel: tb.cancel}
 		if tb.stim != nil && tb.inputs > 0 {
 			base := tb.cycle()
 			pokes := make([]kernel.PlannedPoke, 0, k*len(tb.lanes)*tb.inputs)
@@ -209,6 +231,12 @@ func (tb *Testbench) runBulk(n int, watch *kernel.Watch) (ran int, stopped bool,
 		if r < k {
 			break
 		}
+	}
+	// The only way a bulk run completes fewer cycles than asked without
+	// stopping or erroring is the cancellation probe firing. A probe that
+	// turns true only after the final chunk does not fail a completed run.
+	if ran < n && tb.cancel != nil && tb.cancel() {
+		return ran, false, ErrRunCanceled
 	}
 	return ran, false, nil
 }
