@@ -1,4 +1,4 @@
-// Cross-engine differential fuzzing: random designs × random stimulus,
+// Cross-engine differential testing: random designs × random stimulus,
 // stepped through every execution engine the repository ships — scalar
 // session, RepCut-partitioned sessions, the fused batch schedule, the
 // bit-packed batch schedule (sequential and lane-sharded), the wide
@@ -7,304 +7,120 @@
 // the GSIM/Manticore-style validation discipline: the parallel and
 // specialised engines are only trusted because a reference semantics keeps
 // re-checking them on inputs nobody hand-picked.
+//
+// The harness itself lives in internal/difftest and is shared with the
+// continuous fuzz driver (cmd/rteaal-fuzz), which adds coverage-biased
+// generation, automatic shrinking, and a persistent corpus. These tests are
+// the tier-1 slice of the same machinery: a fixed seeded sweep across every
+// generation profile, a bulk-run-vs-stepped parity leg, and a replay of
+// every repro committed under testdata/diffcorpus.
 package main
 
 import (
 	"fmt"
-	"math/rand"
-	"slices"
+	"path/filepath"
 	"testing"
 
-	"rteaal/internal/dfg"
-	"rteaal/internal/kernel"
-	"rteaal/internal/oim"
-	"rteaal/internal/testbench"
-	"rteaal/sim"
+	"rteaal/internal/difftest"
 )
 
 const (
-	diffSeeds  = 24
-	diffCycles = 24
-	diffLanes  = 3
+	diffSeedsPerProfile = 4
+	diffCycles          = 24
+	diffLanes           = 3
 )
 
-// diffEngine is one engine shape under differential test, reduced to the
-// surface the harness drives: per-lane pokes, a global step, and per-lane
-// observation.
-type diffEngine struct {
-	name    string
-	lanes   int
-	outputs int
-	poke    func(lane, input int, v uint64)
-	step    func() error
-	run     func(n int64) error // bulk run; nil falls back to a step loop
-	out     func(lane, idx int) uint64
-	regs    func(lane int) []uint64
-	close   func()
+// reproLine is printed on failure so one case reruns in isolation — and
+// points at the fuzz driver, which shrinks and persists it.
+func reproLine(c *difftest.Case, prof string, seed int64) string {
+	return fmt.Sprintf("repro: go test -run 'TestDifferentialCrossEngine/%s/seed=%d' . "+
+		"(cycles=%d lanes=%d stim_seed=%d); shrink it with: go run ./cmd/rteaal-fuzz",
+		prof, seed, c.Cycles, c.Lanes, c.StimSeed)
 }
 
-// runBulk advances the engine n cycles through its bulk surface, or a
-// per-cycle step loop when it has none.
-func (e *diffEngine) runBulk(n int64) error {
-	if e.run != nil {
-		return e.run(n)
-	}
-	for i := int64(0); i < n; i++ {
-		if err := e.step(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// diffParams shapes the random designs; moderate sizes keep the whole
-// harness well under the CI budget while still covering every operation
-// class.
-func diffParams(seed int64) dfg.RandomParams {
-	rng := rand.New(rand.NewSource(seed * 7919))
-	return dfg.RandomParams{
-		Inputs:   2 + rng.Intn(4),
-		Regs:     4 + rng.Intn(6),
-		Ops:      40 + rng.Intn(80),
-		Consts:   3 + rng.Intn(4),
-		MaxWidth: 8 + rng.Intn(40),
-		MuxBias:  0.15 + rng.Float64()*0.25,
-	}
-}
-
-// reproLine is printed on failure so one seed reruns in isolation.
-func reproLine(seed int64) string {
-	p := diffParams(seed)
-	return fmt.Sprintf("repro: go test -run 'TestDifferentialCrossEngine/seed=%d' . "+
-		"(params %+v, cycles=%d, lanes=%d)", seed, p, diffCycles, diffLanes)
-}
-
-// diffEngines builds every engine shape over one random design.
-func diffEngines(t *testing.T, seed int64) ([]diffEngine, int) {
-	t.Helper()
-	g := dfg.RandomGraph(rand.New(rand.NewSource(seed)), diffParams(seed))
-
-	var engines []diffEngine
-	session := func(name string, opts ...sim.Option) int {
-		d, err := sim.CompileGraph(g, opts...)
-		if err != nil {
-			t.Fatalf("%s: compile: %v\n%s", name, err, reproLine(seed))
-		}
-		s := d.NewSession()
-		engines = append(engines, diffEngine{
-			name:    name,
-			lanes:   1,
-			outputs: len(d.Outputs()),
-			poke:    func(_, input int, v uint64) { s.PokeIndex(input, v) },
-			step:    s.Step,
-			run:     s.Run,
-			out:     func(_, idx int) uint64 { return s.PeekIndex(idx) },
-			regs:    func(int) []uint64 { return s.Registers() },
-			close:   s.Close,
-		})
-		return len(d.Inputs())
-	}
-	batch := func(name string, workers int, opts ...sim.Option) {
-		d, err := sim.CompileGraph(g, opts...)
-		if err != nil {
-			t.Fatalf("%s: compile: %v\n%s", name, err, reproLine(seed))
-		}
-		b, err := d.NewBatchParallel(diffLanes, workers)
-		if err != nil {
-			t.Fatalf("%s: batch: %v\n%s", name, err, reproLine(seed))
-		}
-		engines = append(engines, diffEngine{
-			name:    name,
-			lanes:   diffLanes,
-			outputs: len(d.Outputs()),
-			poke:    func(lane, input int, v uint64) { b.PokeIndex(lane, input, v) },
-			step:    func() error { b.Step(); return nil },
-			run:     func(n int64) error { b.Run(n); return nil },
-			out:     func(lane, idx int) uint64 { return b.PeekIndex(lane, idx) },
-			regs:    func(lane int) []uint64 { return b.Registers(lane) },
-			close:   b.Close,
+// TestDifferentialCrossEngine sweeps a fixed seed range through every
+// generation profile (baseline, wide64, shiftcat, sharpdiv, muxchain,
+// onebit): each case replays the same (cycle, lane, input)-hashed stimulus
+// on all nine engine shapes and must produce bit-exact per-lane output and
+// register traces.
+func TestDifferentialCrossEngine(t *testing.T) {
+	for _, prof := range difftest.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			for seed := int64(0); seed < diffSeedsPerProfile; seed++ {
+				seed := seed
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					t.Parallel()
+					c := difftest.NewCase(seed, prof, diffCycles, diffLanes)
+					d, err := c.Execute()
+					if err != nil {
+						t.Fatalf("execute: %v\n%s", err, reproLine(c, prof.Name, seed))
+					}
+					if d != nil {
+						t.Fatalf("%v\n%s", d, reproLine(c, prof.Name, seed))
+					}
+				})
+			}
 		})
 	}
-
-	inputs := session("session/PSU")
-	session("session/TI", sim.WithKernel(sim.TI))
-	session("partitioned/n=2", sim.WithPartitions(2))
-	session("partitioned/n=3", sim.WithPartitions(3))
-	batch("batch/fused", 1, sim.WithBatchPacking(false))
-	batch("batch/parallel/w=3", 3, sim.WithBatchPacking(false))
-	batch("batch/packed", 1)
-	batch("batch/packed/w=3", 3)
-
-	// StepReference: the pre-schedule scalar batch loop, kept as the parity
-	// oracle. It is built through the identical (deterministic) compile
-	// pipeline, directly at the kernel layer.
-	opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
-	if err != nil {
-		t.Fatalf("reference: optimize: %v\n%s", err, reproLine(seed))
-	}
-	lv, err := dfg.Levelize(opt)
-	if err != nil {
-		t.Fatalf("reference: levelize: %v\n%s", err, reproLine(seed))
-	}
-	ten, err := oim.Build(lv)
-	if err != nil {
-		t.Fatalf("reference: oim: %v\n%s", err, reproLine(seed))
-	}
-	rb, err := kernel.NewBatch(ten, diffLanes)
-	if err != nil {
-		t.Fatalf("reference: batch: %v\n%s", err, reproLine(seed))
-	}
-	engines = append(engines, diffEngine{
-		name:    "batch/StepReference",
-		lanes:   diffLanes,
-		outputs: len(ten.OutputSlots),
-		poke:    func(lane, input int, v uint64) { rb.PokeInput(lane, input, v) },
-		step:    func() error { rb.StepReference(); return nil },
-		out:     func(lane, idx int) uint64 { return rb.PeekOutput(lane, idx) },
-		regs:    func(lane int) []uint64 { return rb.RegSnapshot(lane) },
-		close:   func() {},
-	})
-	return engines, inputs
 }
 
-// TestDifferentialBulkRun is the Run(k)-vs-k×Step leg: for each seed,
-// every engine shape is instantiated twice over the same design — one copy
-// advanced in bulk-run chunks (including k=0 and k=1 degenerate chunks),
-// one stepped cycle by cycle — with identical stimulus applied at chunk
-// boundaries and held across each chunk. States observed at the boundaries
-// must match pairwise per shape AND across shapes, so the resident run
-// loops (batch free-run, partitioned barrier loop, session funnel) are
-// pinned both to their own per-cycle path and to each other.
+// TestDifferentialBulkRun is the Run(k)-vs-k×Step leg: every engine shape
+// is instantiated twice over the same design — one copy advanced in
+// bulk-run chunks (including k=0 and k=1 degenerate chunks), one stepped
+// cycle by cycle — with identical stimulus applied at chunk boundaries and
+// held across each chunk. States observed at the boundaries must match
+// pairwise per shape AND across shapes, so the resident run loops (batch
+// free-run, partitioned barrier loop, session funnel) are pinned both to
+// their own per-cycle path and to each other.
 func TestDifferentialBulkRun(t *testing.T) {
 	chunks := []int64{1, 3, 0, 5, 2, 7, 4}
-	for seed := int64(0); seed < diffSeeds; seed += 3 {
+	profs := difftest.Profiles()
+	for seed := int64(0); seed < 8; seed++ {
 		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			bulk, inputs := diffEngines(t, seed)
-			step, _ := diffEngines(t, seed)
-			defer func() {
-				for _, e := range bulk {
-					e.close()
-				}
-				for _, e := range step {
-					e.close()
-				}
-			}()
-			stim := testbench.Random(seed*17 + 3)
-			for ci, k := range chunks {
-				var refState []uint64
-				for i := range bulk {
-					b, s := &bulk[i], &step[i]
-					for lane := 0; lane < b.lanes; lane++ {
-						for in := 0; in < inputs; in++ {
-							v := stim.Value(int64(ci), lane, in)
-							b.poke(lane, in, v)
-							s.poke(lane, in, v)
-						}
-					}
-					if err := b.runBulk(k); err != nil {
-						t.Fatalf("%s: run(%d): %v\n%s", b.name, k, err, reproLine(seed))
-					}
-					for c := int64(0); c < k; c++ {
-						if err := s.step(); err != nil {
-							t.Fatalf("%s: step: %v\n%s", s.name, err, reproLine(seed))
-						}
-					}
-					var bState, sState []uint64
-					for lane := 0; lane < b.lanes; lane++ {
-						for idx := 0; idx < b.outputs; idx++ {
-							bState = append(bState, b.out(lane, idx))
-							sState = append(sState, s.out(lane, idx))
-						}
-						bState = append(bState, b.regs(lane)...)
-						sState = append(sState, s.regs(lane)...)
-					}
-					if !slices.Equal(bState, sState) {
-						t.Fatalf("%s: bulk chunk %d (k=%d) diverges from %d single steps\n%s",
-							b.name, ci, k, k, reproLine(seed))
-					}
-					// Cross-shape: lane 0 of every bulk engine agrees.
-					lane0 := bState[:b.outputs]
-					lane0 = append(lane0, b.regs(0)...)
-					if refState == nil {
-						refState = lane0
-					} else if !slices.Equal(lane0, refState) {
-						t.Fatalf("%s: bulk lane 0 diverges from %s at chunk %d\n%s",
-							b.name, bulk[0].name, ci, reproLine(seed))
-					}
-				}
+		prof := profs[int(seed)%len(profs)]
+		t.Run(fmt.Sprintf("%s/seed=%d", prof.Name, seed), func(t *testing.T) {
+			t.Parallel()
+			c := difftest.NewCase(seed, prof, diffCycles, diffLanes)
+			d, err := c.ExecuteBulk(chunks)
+			if err != nil {
+				t.Fatalf("execute bulk: %v\n%s", err, reproLine(c, prof.Name, seed))
+			}
+			if d != nil {
+				t.Fatalf("bulk chunks %v: %v\n%s", chunks, d, reproLine(c, prof.Name, seed))
 			}
 		})
 	}
 }
 
-// TestDifferentialCrossEngine is the harness: for each seed, every engine
-// shape replays the same (cycle, lane, input)-hashed stimulus and must
-// produce bit-exact per-lane output and register traces.
-func TestDifferentialCrossEngine(t *testing.T) {
-	for seed := int64(0); seed < diffSeeds; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			engines, inputs := diffEngines(t, seed)
-			defer func() {
-				for _, e := range engines {
-					e.close()
-				}
-			}()
-			stim := testbench.Random(seed*31 + 7)
-
-			// traces[engine][lane] accumulates outputs then registers,
-			// cycle by cycle.
-			traces := make([][][]uint64, len(engines))
-			for i, e := range engines {
-				traces[i] = make([][]uint64, e.lanes)
+// TestDiffCorpusReplay replays every shrunk repro committed under
+// testdata/diffcorpus. Each entry is a minimal case that once exposed a
+// divergence (the JSON records which engines disagreed and where); the
+// engines must now agree on it, so a fixed bug that regresses fails here
+// with the original coordinates before the fuzzer has to rediscover it.
+func TestDiffCorpusReplay(t *testing.T) {
+	entries, err := difftest.LoadCorpus(filepath.Join("testdata", "diffcorpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Skip("no corpus entries committed")
+	}
+	for _, e := range entries {
+		e := e
+		t.Run(filepath.Base(e.Path), func(t *testing.T) {
+			t.Parallel()
+			c, err := e.Repro.Case()
+			if err != nil {
+				t.Fatalf("corrupt corpus entry: %v", err)
 			}
-			for c := int64(0); c < diffCycles; c++ {
-				for i, e := range engines {
-					for lane := 0; lane < e.lanes; lane++ {
-						for in := 0; in < inputs; in++ {
-							e.poke(lane, in, stim.Value(c, lane, in))
-						}
-					}
-					if err := e.step(); err != nil {
-						t.Fatalf("%s: step: %v\n%s", e.name, err, reproLine(seed))
-					}
-					for lane := 0; lane < e.lanes; lane++ {
-						for idx := 0; idx < e.outputs; idx++ {
-							traces[i][lane] = append(traces[i][lane], e.out(lane, idx))
-						}
-						traces[i][lane] = append(traces[i][lane], e.regs(lane)...)
-					}
-				}
+			d, err := c.Execute()
+			if err != nil {
+				t.Fatalf("execute: %v", err)
 			}
-
-			// Compare lane-by-lane against engine 0 (the scalar session has
-			// one lane; wider engines compare lane 0 to it and the extra
-			// lanes among themselves).
-			ref := traces[0][0]
-			for i, e := range engines[1:] {
-				got := traces[i+1][0]
-				if !slices.Equal(got, ref) {
-					t.Fatalf("%s lane 0 diverges from %s\n%s",
-						e.name, engines[0].name, reproLine(seed))
-				}
-			}
-			var wideRef [][]uint64
-			var wideName string
-			for i, e := range engines {
-				if e.lanes < 2 {
-					continue
-				}
-				if wideRef == nil {
-					wideRef, wideName = traces[i], e.name
-					continue
-				}
-				for lane := 1; lane < e.lanes; lane++ {
-					if !slices.Equal(traces[i][lane], wideRef[lane]) {
-						t.Fatalf("%s lane %d diverges from %s\n%s",
-							e.name, lane, wideName, reproLine(seed))
-					}
-				}
+			if d != nil {
+				t.Fatalf("corpus regression %s: %v (originally %v)",
+					e.Path, d, e.Repro.Divergence)
 			}
 		})
 	}

@@ -17,6 +17,20 @@ type RandomParams struct {
 	// MuxBias in [0,1] raises the share of mux operations, which exercises
 	// the select class and mux-chain fusion.
 	MuxBias float64
+	// ShiftBias in [0,1] raises the share of sharp-edged shift operations:
+	// constant amounts at, just below, and beyond the operand width
+	// (including >= 64, the saturation edge) and fully dynamic amounts drawn
+	// from wide nodes, which under random stimulus routinely exceed the
+	// operand width. Zero keeps the historical distribution, where such
+	// shifts are effectively never produced.
+	ShiftBias float64
+	// DivZeroBias in [0,1] raises the share of division/remainder
+	// operations whose divisor is *dynamically* zero: the divisor is routed
+	// through a mux with a constant-zero arm or masked to a narrow field, so
+	// ordinary random stimulus actually exercises the x/0 == 0 and
+	// x%0 == 0 semantics every engine must pin down identically. Zero keeps
+	// the historical distribution, where a zero divisor is vanishingly rare.
+	DivZeroBias float64
 }
 
 // DefaultRandomParams is a small circuit suitable for property tests.
@@ -67,7 +81,18 @@ func RandomGraph(rng *rand.Rand, p RandomParams) *Graph {
 		var id NodeID
 		switch r := rng.Float64(); {
 		case r < p.MuxBias:
-			id = g.AddOp(wire.Mux, w, pick(), pick(), pick())
+			if rng.Intn(3) == 0 {
+				// Explicit else-nested chain. Interior muxes stay off the
+				// pool, so they remain single-use and width-matched — the
+				// exact shape the mux-chain fusion pass (§6.1) absorbs.
+				cur := pick()
+				for depth := 2 + rng.Intn(3); depth > 0; depth-- {
+					cur = g.AddOp(wire.Mux, w, pick(), pick(), cur)
+				}
+				id = cur
+			} else {
+				id = g.AddOp(wire.Mux, w, pick(), pick(), pick())
+			}
 		case r < p.MuxBias+0.12:
 			id = g.AddOp(unaryOps[rng.Intn(len(unaryOps))], condWidth(w, rng), pick())
 		case r < p.MuxBias+0.20:
@@ -95,6 +120,49 @@ func RandomGraph(rng *rand.Rand, p RandomParams) *Graph {
 			x := pick()
 			maskC := g.AddConst(g.Nodes[x].Mask(), 64)
 			id = g.AddOp(wire.AndR, 1, x, maskC)
+		case r < p.MuxBias+0.24+p.ShiftBias:
+			// Sharp shift edges: the amount sits at, around, or beyond the
+			// operand width — including the >= 64 saturation edge — or is a
+			// fully dynamic wide value that random stimulus pushes past the
+			// width on its own.
+			op := wire.Shl
+			if rng.Intn(2) == 0 {
+				op = wire.Shr
+			}
+			x := pick()
+			xw := int(g.Nodes[x].Width)
+			var amt NodeID
+			switch rng.Intn(4) {
+			case 0: // at or just past the operand width
+				amt = g.AddConst(uint64(xw+rng.Intn(3)), 7)
+			case 1: // just below the width (the last in-range amounts)
+				amt = g.AddConst(uint64(max(xw-1-rng.Intn(2), 0)), 7)
+			case 2: // the uint64 saturation edge
+				amt = g.AddConst(uint64(63+rng.Intn(4)), 7)
+			default: // dynamic: any node, wide values overshoot routinely
+				amt = pick()
+			}
+			id = g.AddOp(op, w, x, amt)
+		case r < p.MuxBias+0.24+p.ShiftBias+p.DivZeroBias:
+			// Division/remainder with a dynamically-zero divisor: route the
+			// divisor through a mux whose one arm is a constant zero (the
+			// selector toggles under stimulus) or mask it to a narrow field
+			// that is zero a large fraction of the time.
+			op := wire.Div
+			if rng.Intn(2) == 0 {
+				op = wire.Rem
+			}
+			num := pick()
+			var den NodeID
+			dw := condWidth(w, rng)
+			if rng.Intn(2) == 0 {
+				zero := g.AddConst(0, dw)
+				den = g.AddOp(wire.Mux, dw, pick(), zero, pick())
+			} else {
+				narrow := g.AddConst(uint64(rng.Intn(4)), dw)
+				den = g.AddOp(wire.And, dw, pick(), narrow)
+			}
+			id = g.AddOp(op, w, num, den)
 		default:
 			op := binaryOps[rng.Intn(len(binaryOps))]
 			ow := w

@@ -1,0 +1,82 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"rteaal/internal/wire"
+)
+
+// TestRandomGraphSharpEdges proves the widened generator actually produces
+// the arithmetic edges the old distribution effectively never reached:
+// division/remainder whose divisor evaluates to zero under ordinary random
+// stimulus, and shifts whose amount meets or exceeds the operand width
+// (including the >= 64 saturation edge). The check is dynamic — the graphs
+// are run through the reference interpreter — because a div node whose
+// divisor merely *could* be zero exercises nothing.
+func TestRandomGraphSharpEdges(t *testing.T) {
+	p := RandomParams{
+		Inputs: 4, Regs: 6, Ops: 80, Consts: 5, MaxWidth: 64,
+		MuxBias: 0.1, ShiftBias: 0.2, DivZeroBias: 0.2,
+	}
+	var divZero, shiftOver int
+	for seed := int64(0); seed < 8; seed++ {
+		g := RandomGraph(rand.New(rand.NewSource(seed)), p)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+		it, err := NewInterp(g)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed*31 + 11))
+		for c := 0; c < 24; c++ {
+			for i := range g.Inputs {
+				it.PokeInput(i, rng.Uint64())
+			}
+			it.Eval()
+			for id := range g.Nodes {
+				n := &g.Nodes[id]
+				if n.Kind != KindOp {
+					continue
+				}
+				switch n.Op {
+				case wire.Div, wire.Rem:
+					if it.Peek(n.Args[1]) == 0 {
+						divZero++
+					}
+				case wire.Shl, wire.Shr:
+					if it.Peek(n.Args[1]) >= uint64(g.Nodes[n.Args[0]].Width) {
+						shiftOver++
+					}
+				}
+			}
+			it.Step()
+		}
+	}
+	if divZero == 0 {
+		t.Error("no division/remainder by a dynamically-zero divisor was exercised")
+	}
+	if shiftOver == 0 {
+		t.Error("no shift >= operand width was exercised")
+	}
+}
+
+// TestRandomGraphDefaultsUnchanged pins the historical default distribution:
+// zero biases generate exactly the graphs they always did, so every seeded
+// corpus and differential repro stays reproducible.
+func TestRandomGraphDefaultsUnchanged(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		a := RandomGraph(rand.New(rand.NewSource(seed)), DefaultRandomParams())
+		b := RandomGraph(rand.New(rand.NewSource(seed)), DefaultRandomParams())
+		if len(a.Nodes) != len(b.Nodes) {
+			t.Fatalf("seed %d: non-deterministic generation", seed)
+		}
+		for i := range a.Nodes {
+			x, y := &a.Nodes[i], &b.Nodes[i]
+			if x.Kind != y.Kind || x.Op != y.Op || x.Width != y.Width || x.Val != y.Val {
+				t.Fatalf("seed %d: node %d differs", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package difftest
+
+import (
+	"fmt"
+
+	"rteaal/internal/dfg"
+)
+
+// ShrinkStats reports what the shrinker did.
+type ShrinkStats struct {
+	Trials   int // candidate cases executed
+	Accepted int // mutations that preserved the divergence
+	// NodesBefore/NodesAfter bracket the graph size.
+	NodesBefore, NodesAfter   int
+	CyclesBefore, CyclesAfter int
+	LanesBefore, LanesAfter   int
+}
+
+func (s ShrinkStats) String() string {
+	return fmt.Sprintf("shrink: %d trials, %d accepted; nodes %d→%d, cycles %d→%d, lanes %d→%d",
+		s.Trials, s.Accepted, s.NodesBefore, s.NodesAfter,
+		s.CyclesBefore, s.CyclesAfter, s.LanesBefore, s.LanesAfter)
+}
+
+// cloneGraph deep-copies a graph so a trial mutation never leaks into the
+// accepted case.
+func cloneGraph(g *dfg.Graph) *dfg.Graph {
+	c := &dfg.Graph{
+		Name:    g.Name,
+		Nodes:   make([]dfg.Node, len(g.Nodes)),
+		Inputs:  append([]dfg.Port(nil), g.Inputs...),
+		Outputs: append([]dfg.Port(nil), g.Outputs...),
+		Regs:    append([]dfg.Reg(nil), g.Regs...),
+	}
+	copy(c.Nodes, g.Nodes)
+	for i := range c.Nodes {
+		c.Nodes[i].Args = append([]dfg.NodeID(nil), g.Nodes[i].Args...)
+	}
+	return c
+}
+
+// compact rebuilds the graph keeping only nodes reachable from outputs,
+// registers, and the remaining primary inputs, remapping all ids. Called
+// once per accepted pass so node counts in the final repro reflect live
+// logic, not tombstones.
+func compact(g *dfg.Graph) *dfg.Graph {
+	live := make([]bool, len(g.Nodes))
+	var mark func(id dfg.NodeID)
+	mark = func(id dfg.NodeID) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, a := range g.Nodes[id].Args {
+			mark(a)
+		}
+	}
+	for _, p := range g.Outputs {
+		mark(p.Node)
+	}
+	for _, p := range g.Inputs {
+		mark(p.Node)
+	}
+	for _, r := range g.Regs {
+		mark(r.Node)
+		if r.Next != dfg.Invalid {
+			mark(r.Next)
+		}
+	}
+	remap := make([]dfg.NodeID, len(g.Nodes))
+	out := &dfg.Graph{Name: g.Name}
+	for id := range g.Nodes {
+		if !live[id] {
+			remap[id] = dfg.Invalid
+			continue
+		}
+		n := g.Nodes[id]
+		n.Args = append([]dfg.NodeID(nil), n.Args...)
+		for i, a := range n.Args {
+			n.Args[i] = remap[a]
+		}
+		out.Nodes = append(out.Nodes, n)
+		remap[id] = dfg.NodeID(len(out.Nodes) - 1)
+	}
+	for _, p := range g.Inputs {
+		out.Inputs = append(out.Inputs, dfg.Port{Name: p.Name, Node: remap[p.Node]})
+	}
+	for _, p := range g.Outputs {
+		out.Outputs = append(out.Outputs, dfg.Port{Name: p.Name, Node: remap[p.Node]})
+	}
+	for _, r := range g.Regs {
+		next := dfg.Invalid
+		if r.Next != dfg.Invalid {
+			next = remap[r.Next]
+		}
+		out.Regs = append(out.Regs, dfg.Reg{Node: remap[r.Node], Next: next, Init: r.Init})
+	}
+	return out
+}
+
+// stillDiverges executes a candidate and reports whether any divergence
+// (not necessarily the original one) survives. Build or step errors reject
+// the candidate: the shrinker only keeps mutations that leave a working,
+// diverging design.
+func stillDiverges(c *Case) (*Divergence, bool) {
+	if err := c.Graph.Validate(); err != nil {
+		return nil, false
+	}
+	d, err := c.Execute()
+	if err != nil || d == nil {
+		return nil, false
+	}
+	return d, true
+}
+
+// Shrink greedily minimises a diverging case: cycles are cut to the
+// divergence point, lanes to one, outputs dropped, registers frozen to
+// their initial values, operation nodes and inputs replaced by constant
+// zeros — each mutation re-verified by re-running the full engine matrix,
+// and the whole schedule repeated to a fixpoint. Returns the minimal case,
+// its divergence, and trial statistics. The input case is not modified.
+func Shrink(c *Case) (*Case, *Divergence, ShrinkStats, error) {
+	stats := ShrinkStats{
+		NodesBefore: len(c.Graph.Nodes), CyclesBefore: c.Cycles, LanesBefore: c.Lanes,
+	}
+	cur := &Case{Graph: cloneGraph(c.Graph), Cycles: c.Cycles, Lanes: c.Lanes, StimSeed: c.StimSeed}
+	stats.Trials++
+	div, ok := stillDiverges(cur)
+	if !ok {
+		return nil, nil, stats, fmt.Errorf("difftest: Shrink: case does not diverge")
+	}
+
+	// try runs one candidate; on success it becomes the current case.
+	try := func(cand *Case) bool {
+		stats.Trials++
+		d, ok := stillDiverges(cand)
+		if !ok {
+			return false
+		}
+		stats.Accepted++
+		cur, div = cand, d
+		return true
+	}
+
+	// Cycle minimisation: the divergence cycle is a completed-cycle index,
+	// so cycle+1 total cycles always re-trigger it; verify anyway and keep
+	// halving toward 1.
+	for {
+		want := int(div.Cycle) + 1
+		if want >= cur.Cycles {
+			break
+		}
+		if !try(&Case{Graph: cur.Graph, Cycles: want, Lanes: cur.Lanes, StimSeed: cur.StimSeed}) {
+			break
+		}
+	}
+
+	// Lane minimisation.
+	if cur.Lanes > 1 {
+		try(&Case{Graph: cur.Graph, Cycles: cur.Cycles, Lanes: 1, StimSeed: cur.StimSeed})
+	}
+
+	// Structural passes to a fixpoint: drop outputs, freeze registers,
+	// zero operation nodes, constant-fold inputs. Each accepted pass ends
+	// with a compaction so dead cones disappear from the node count.
+	for pass := 0; pass < 8; pass++ {
+		accepted := 0
+
+		// Drop outputs (from the back, so indices stay stable).
+		for i := len(cur.Graph.Outputs) - 1; i >= 0; i-- {
+			g := cloneGraph(cur.Graph)
+			g.Outputs = append(g.Outputs[:i], g.Outputs[i+1:]...)
+			if try(&Case{Graph: g, Cycles: cur.Cycles, Lanes: cur.Lanes, StimSeed: cur.StimSeed}) {
+				accepted++
+			}
+		}
+
+		// Freeze registers: the Q node becomes a constant at the initial
+		// value and the register (with its next-state cone) is removed.
+		for i := len(cur.Graph.Regs) - 1; i >= 0; i-- {
+			g := cloneGraph(cur.Graph)
+			r := g.Regs[i]
+			n := &g.Nodes[r.Node]
+			n.Kind, n.Val, n.Args = dfg.KindConst, r.Init&n.Mask(), nil
+			g.Regs = append(g.Regs[:i], g.Regs[i+1:]...)
+			if try(&Case{Graph: g, Cycles: cur.Cycles, Lanes: cur.Lanes, StimSeed: cur.StimSeed}) {
+				accepted++
+			}
+		}
+
+		// Zero operation nodes: highest id first, so consumers shrink
+		// before their operands.
+		for id := len(cur.Graph.Nodes) - 1; id >= 0; id-- {
+			if cur.Graph.Nodes[id].Kind != dfg.KindOp {
+				continue
+			}
+			g := cloneGraph(cur.Graph)
+			n := &g.Nodes[id]
+			n.Kind, n.Val, n.Args = dfg.KindConst, 0, nil
+			if try(&Case{Graph: g, Cycles: cur.Cycles, Lanes: cur.Lanes, StimSeed: cur.StimSeed}) {
+				accepted++
+			}
+		}
+
+		// Constant-fold primary inputs to zero.
+		for i := len(cur.Graph.Inputs) - 1; i >= 0; i-- {
+			g := cloneGraph(cur.Graph)
+			p := g.Inputs[i]
+			n := &g.Nodes[p.Node]
+			n.Kind, n.Val, n.Args = dfg.KindConst, 0, nil
+			g.Inputs = append(g.Inputs[:i], g.Inputs[i+1:]...)
+			if try(&Case{Graph: g, Cycles: cur.Cycles, Lanes: cur.Lanes, StimSeed: cur.StimSeed}) {
+				accepted++
+			}
+		}
+
+		if accepted > 0 {
+			g := compact(cur.Graph)
+			stats.Trials++
+			if d, ok := stillDiverges(&Case{Graph: g, Cycles: cur.Cycles, Lanes: cur.Lanes, StimSeed: cur.StimSeed}); ok {
+				cur = &Case{Graph: g, Cycles: cur.Cycles, Lanes: cur.Lanes, StimSeed: cur.StimSeed}
+				div = d
+			}
+		}
+		if accepted == 0 {
+			break
+		}
+	}
+
+	stats.NodesAfter = len(cur.Graph.Nodes)
+	stats.CyclesAfter = cur.Cycles
+	stats.LanesAfter = cur.Lanes
+	return cur, div, stats, nil
+}

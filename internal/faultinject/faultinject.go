@@ -48,6 +48,14 @@ const (
 	// handler aborts the connection, leaving the client with a transport
 	// error for work the server already performed.
 	ConnDrop Point = "conn-drop"
+	// EngineDefect fires after each completed bulk dispatch in the batch
+	// engine's run funnel (kernel.Batch); an arming hook that returns an
+	// error flips one register bit on lane 0, simulating a miscompiled
+	// schedule. Every scheduled batch shape routes through the funnel while
+	// the scalar sessions and the StepReference oracle do not, so the
+	// differential harness must catch it — this is how the fuzzer and the
+	// shrinker are validated end to end.
+	EngineDefect Point = "engine-defect"
 )
 
 // Hook decides what happens at an armed point. hit is the 1-based number

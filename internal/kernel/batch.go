@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rteaal/internal/faultinject"
 	"rteaal/internal/oim"
 	"rteaal/internal/wire"
 )
@@ -539,6 +540,16 @@ func (b *Batch) runBulkOnce(spec RunSpec) (ran int, stopped bool) {
 		if at := sync.stop.Load(); at < int64(k) {
 			return int(at) + 1, true
 		}
+	}
+	// Deliberate-defect injection site: when a test arms EngineDefect, one
+	// register bit of lane 0 flips after the dispatch, corrupting every
+	// scheduled batch shape (fused, packed, parallel) while leaving the
+	// scalar sessions and the StepReference oracle untouched — the
+	// differential harness and its shrinker are validated against exactly
+	// this. Disarmed, the cost is a single atomic load.
+	if faultinject.Fire(faultinject.EngineDefect) != nil && len(b.t.RegSlots) > 0 {
+		q := b.t.RegSlots[0].Q
+		b.PokeSlot(0, q, b.PeekSlot(0, q)^1)
 	}
 	return k, false
 }

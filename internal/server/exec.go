@@ -116,6 +116,18 @@ func runCommands(tb *sim.Testbench, cmds []testbench.Command, maxCyclesPerComman
 				waited, err = tb.HandshakeLane(c.Lane, c.Valid, c.Pokes, c.Ready, c.MaxCycles)
 				out.Value = uint64(waited)
 			}
+		case testbench.OpWait:
+			if int64(c.MaxCycles) > maxCyclesPerCommand {
+				err = fmt.Errorf("wait budget of %d cycles exceeds the per-command budget of %d", c.MaxCycles, maxCyclesPerCommand)
+			} else {
+				// The predicate rides the engine's early-stop Watch through
+				// the port's bulk-run fast path, so the session halts at the
+				// exact accepting cycle — no chunk overshoot.
+				var p *sim.Port
+				if p, err = tb.PortLane(c.Signal, c.Lane); err == nil {
+					out.Value, err = p.Wait(c.Until.Pred(), c.MaxCycles)
+				}
+			}
 		default:
 			// DecodeCommands validated the op; this is a programming error.
 			err = fmt.Errorf("unexecutable op %q", c.Op)

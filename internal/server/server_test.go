@@ -609,12 +609,13 @@ func TestWireErrors(t *testing.T) {
 	}
 }
 
-// TestClientWaitBatchesChecks exercises the client-side chunked Wait: the
-// predicate is only consulted at chunk boundaries (one step-k plus a peek
-// per round-trip), so the observed value and cycle count land on the first
-// boundary at or past the condition, and a never-true predicate times out
-// after exactly maxCycles.
-func TestClientWaitBatchesChecks(t *testing.T) {
+// TestClientWaitExactCycle exercises the server-side wait: the condition
+// travels the wire as one command, rides the engine's early-stop watch,
+// and the session halts at the exact cycle the condition first holds — no
+// chunk overshoot — with one HTTP round-trip per wait. A never-true
+// condition times out after exactly maxCycles, answering 422 with the
+// budget consumed.
+func TestClientWaitExactCycle(t *testing.T) {
 	_, c := newTestService(t, server.Config{})
 	ctx := context.Background()
 	cr, err := c.Compile(ctx, counterSrc, server.CompileOptions{})
@@ -630,35 +631,56 @@ func TestClientWaitBatchesChecks(t *testing.T) {
 		t.Fatal(err)
 	}
 	// count samples at settle: after n cycles it reads n-1. The condition
-	// count >= 10 first holds mid-chunk (n = 11); with chunk = 8 the wait
-	// observes it at the n = 16 boundary, reading 15.
-	v, err := sess.Wait(ctx, 0, "count", func(v uint64) bool { return v >= 10 }, 100, 8)
+	// count >= 10 first holds at n = 11, and the wait must stop exactly
+	// there, observing 10 — not the 15 a chunked client-side poll with
+	// chunk = 8 used to report.
+	v, err := sess.Wait(ctx, 0, "count", &testbench.Cond{Test: testbench.CondGeq, Value: 10}, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != 15 {
-		t.Errorf("Wait observed %d at the chunk boundary, want 15", v)
+	if v != 10 {
+		t.Errorf("Wait observed %d, want exactly 10", v)
 	}
 	resp, err := sess.Do(ctx, client.NewScript().Peek("count"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Cycle != 16 {
-		t.Errorf("cycle after chunked wait = %d, want 16 (two 8-cycle chunks)", resp.Cycle)
+	if resp.Cycle != 11 {
+		t.Errorf("cycle after wait = %d, want exactly 11 (no chunk overshoot)", resp.Cycle)
 	}
 
-	// A non-positive chunk degrades to per-cycle checking, which observes
-	// the exact first accepting cycle.
-	v, err = sess.Wait(ctx, 0, "count", func(v uint64) bool { return v >= 20 }, 100, 0)
+	// A second wait resumes from the session's state and again stops at the
+	// first accepting cycle.
+	v, err = sess.Wait(ctx, 0, "count", &testbench.Cond{Test: testbench.CondEq, Value: 20}, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v != 20 {
-		t.Errorf("per-cycle Wait observed %d, want 20", v)
+		t.Errorf("second Wait observed %d, want 20", v)
+	}
+	if resp, err = sess.Do(ctx, client.NewScript().Peek("count")); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cycle != 21 {
+		t.Errorf("cycle after second wait = %d, want 21", resp.Cycle)
 	}
 
-	// Timeout: the budget is consumed in chunks and the error carries it.
-	if _, err := sess.Wait(ctx, 0, "count", func(uint64) bool { return false }, 12, 5); err == nil {
-		t.Fatal("impossible predicate did not time out")
+	// Timeout: an impossible condition consumes exactly the budget and
+	// surfaces the server's command error.
+	var apiErr *client.APIError
+	if _, err := sess.Wait(ctx, 0, "count", &testbench.Cond{Test: testbench.CondLt, Value: 5}, 12); !errors.As(err, &apiErr) || apiErr.Status != 422 {
+		t.Fatalf("impossible condition answered %v, want 422", err)
+	}
+	if resp, err = sess.Do(ctx, client.NewScript().Peek("count")); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cycle != 33 {
+		t.Errorf("cycle after timed-out wait = %d, want 33 (21 + the 12-cycle budget)", resp.Cycle)
+	}
+
+	// The wire validator rejects a wait beyond the server's per-command
+	// budget outright.
+	if _, err := sess.Wait(ctx, 0, "count", nil, 2_000_000); !errors.As(err, &apiErr) || apiErr.Status != 422 {
+		t.Fatalf("over-budget wait answered %v, want 422", err)
 	}
 }

@@ -27,6 +27,7 @@ const (
 	OpStep      = "step"      // advance Cycles cycles (all lanes)
 	OpTransact  = "transact"  // poke Pokes, step until Until holds on Resp, MaxCycles budget
 	OpHandshake = "handshake" // valid/ready transfer: Valid, Pokes, Ready, MaxCycles
+	OpWait      = "wait"      // step until Until holds on Signal, MaxCycles budget
 )
 
 // Command is one wire-framed testbench operation. Exactly the fields of
@@ -62,12 +63,14 @@ const (
 	CondNonzero = "nonzero" // accept when the signal is non-zero
 	CondEq      = "eq"      // accept when the signal equals Value
 	CondNeq     = "neq"     // accept when the signal differs from Value
+	CondGeq     = "geq"     // accept when the signal is >= Value (unsigned)
+	CondLt      = "lt"      // accept when the signal is < Value (unsigned)
 )
 
 // Validate checks the condition is expressible.
 func (c *Cond) Validate() error {
 	switch c.Test {
-	case CondAny, CondNonzero, CondEq, CondNeq:
+	case CondAny, CondNonzero, CondEq, CondNeq, CondGeq, CondLt:
 		return nil
 	}
 	return fmt.Errorf("testbench: unknown condition test %q", c.Test)
@@ -88,6 +91,12 @@ func (c *Cond) Pred() func(uint64) bool {
 	case CondNeq:
 		want := c.Value
 		return func(v uint64) bool { return v != want }
+	case CondGeq:
+		want := c.Value
+		return func(v uint64) bool { return v >= want }
+	case CondLt:
+		want := c.Value
+		return func(v uint64) bool { return v < want }
 	}
 	return nil
 }
@@ -131,6 +140,18 @@ func (c *Command) Validate() error {
 		}
 		if c.MaxCycles < 1 {
 			return fmt.Errorf("testbench: handshake needs max_cycles >= 1, got %d", c.MaxCycles)
+		}
+	case OpWait:
+		if c.Signal == "" {
+			return fmt.Errorf("testbench: wait needs a signal")
+		}
+		if c.MaxCycles < 1 {
+			return fmt.Errorf("testbench: wait needs max_cycles >= 1, got %d", c.MaxCycles)
+		}
+		if c.Until != nil {
+			if err := c.Until.Validate(); err != nil {
+				return err
+			}
 		}
 	default:
 		return fmt.Errorf("testbench: unknown command op %q", c.Op)

@@ -16,6 +16,10 @@ func validCommands() []Command {
 			Until: &Cond{Test: CondNonzero}, MaxCycles: 100},
 		{Op: OpTransact, Resp: "resp", Until: &Cond{Test: CondEq, Value: 9}, MaxCycles: 1},
 		{Op: OpHandshake, Valid: "v", Ready: "r", Pokes: map[string]uint64{"bits": 1}, MaxCycles: 10},
+		{Op: OpWait, Signal: "done", Until: &Cond{Test: CondNonzero}, MaxCycles: 50},
+		{Op: OpWait, Lane: 1, Signal: "count", Until: &Cond{Test: CondGeq, Value: 10}, MaxCycles: 200},
+		{Op: OpWait, Signal: "busy", Until: &Cond{Test: CondLt, Value: 2}, MaxCycles: 8},
+		{Op: OpWait, Signal: "tick", MaxCycles: 1},
 	}
 }
 
@@ -59,6 +63,9 @@ func TestCommandValidate(t *testing.T) {
 		{"handshake without valid", Command{Op: OpHandshake, Ready: "r", MaxCycles: 5}},
 		{"handshake without ready", Command{Op: OpHandshake, Valid: "v", MaxCycles: 5}},
 		{"handshake without budget", Command{Op: OpHandshake, Valid: "v", Ready: "r"}},
+		{"wait without signal", Command{Op: OpWait, MaxCycles: 5}},
+		{"wait without budget", Command{Op: OpWait, Signal: "done"}},
+		{"wait bad cond", Command{Op: OpWait, Signal: "done", MaxCycles: 5, Until: &Cond{Test: "gt"}}},
 	}
 	for _, tc := range bad {
 		if err := tc.cmd.Validate(); err == nil {
@@ -117,6 +124,12 @@ func TestCondPred(t *testing.T) {
 	if p := (&Cond{Test: CondNeq, Value: 7}).Pred(); p(7) || !p(8) {
 		t.Error("neq predicate wrong")
 	}
+	if p := (&Cond{Test: CondGeq, Value: 7}).Pred(); p(6) || !p(7) || !p(8) {
+		t.Error("geq predicate wrong")
+	}
+	if p := (&Cond{Test: CondLt, Value: 7}).Pred(); !p(6) || p(7) || p(8) {
+		t.Error("lt predicate wrong")
+	}
 }
 
 // FuzzDecodeCommands asserts the wire decoder's contract on arbitrary
@@ -131,6 +144,7 @@ func FuzzDecodeCommands(f *testing.F) {
 			Until: &Cond{Test: CondNonzero}, MaxCycles: 100}},
 		{{Op: OpHandshake, Valid: "in_valid", Ready: "in_ready", Pokes: map[string]uint64{"in_bits": 7}, MaxCycles: 64}},
 		{{Op: OpPeek, Signal: "count", Lane: 3}, {Op: OpStep, Cycles: 1}},
+		{{Op: OpWait, Lane: 1, Signal: "count", Until: &Cond{Test: CondGeq, Value: 10}, MaxCycles: 200}},
 	}
 	for _, cmds := range seeds {
 		data, err := EncodeCommands(cmds)

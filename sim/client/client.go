@@ -346,32 +346,20 @@ func (s *Session) Do(ctx context.Context, script *Script) (*server.CommandsRespo
 	return &resp, nil
 }
 
-// Wait drives the remote session until pred accepts the named signal's
-// value on the given lane, for at most maxCycles cycles. Client-side
-// predicates cannot travel the wire, so the wait batches its checks: each
-// round-trip is one step-min(chunk, remaining) plus a peek, and pred runs
-// here on the sampled value — maxCycles/chunk HTTP requests instead of one
-// per cycle. The predicate is therefore only consulted at chunk
-// boundaries: a condition that became true mid-chunk is observed up to
-// chunk-1 cycles late (the session's cycle count reflects the overshoot).
-// For exact-cycle stopping, express the condition as a wire
-// [testbench.Cond] and use [Script.Transact], which evaluates server-side
-// every cycle. A chunk below 1 is treated as 1; timeout is an error.
-func (s *Session) Wait(ctx context.Context, lane int, signal string, pred func(uint64) bool, maxCycles, chunk int) (uint64, error) {
-	chunk = max(chunk, 1)
-	for done := 0; done < maxCycles; {
-		k := min(chunk, maxCycles-done)
-		resp, err := s.Do(ctx, NewScript().Step(int64(k)).PeekLane(lane, signal))
-		if err != nil {
-			return 0, err
-		}
-		done += k
-		v := resp.Outcomes[len(resp.Outcomes)-1].Value
-		if pred == nil || pred(v) {
-			return v, nil
-		}
+// Wait drives the remote session until cond accepts the named signal's
+// value on the given lane, for at most maxCycles cycles, and returns the
+// accepted value. The condition travels the wire as a single wait command:
+// the server threads it into the engine's early-stop watch, so the session
+// halts at the exact cycle the condition first holds — one round-trip,
+// no chunked polling, no overshoot. A nil cond accepts the first sampled
+// cycle. Timeout surfaces as the server's command error (*APIError); the
+// budget is additionally subject to the server's per-command cycle policy.
+func (s *Session) Wait(ctx context.Context, lane int, signal string, cond *testbench.Cond, maxCycles int) (uint64, error) {
+	resp, err := s.Do(ctx, NewScript().WaitLane(lane, signal, cond, maxCycles))
+	if err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("client: wait on %q timed out after %d cycles", signal, maxCycles)
+	return resp.Outcomes[len(resp.Outcomes)-1].Value, nil
 }
 
 // Log fetches the session's recorded, replayable transaction log.
@@ -450,4 +438,16 @@ func (b *Script) Transact(pokes map[string]uint64, resp string, cond *testbench.
 // Handshake performs a valid/ready transfer within maxCycles.
 func (b *Script) Handshake(valid string, pokes map[string]uint64, ready string, maxCycles int) *Script {
 	return b.Add(testbench.Command{Op: testbench.OpHandshake, Valid: valid, Pokes: pokes, Ready: ready, MaxCycles: maxCycles})
+}
+
+// Wait steps until cond holds on the named signal of lane 0 (nil: the
+// first sampled cycle), within maxCycles; the session stops at the exact
+// accepting cycle.
+func (b *Script) Wait(signal string, cond *testbench.Cond, maxCycles int) *Script {
+	return b.Add(testbench.Command{Op: testbench.OpWait, Signal: signal, Until: cond, MaxCycles: maxCycles})
+}
+
+// WaitLane is [Script.Wait] on a batch lane.
+func (b *Script) WaitLane(lane int, signal string, cond *testbench.Cond, maxCycles int) *Script {
+	return b.Add(testbench.Command{Op: testbench.OpWait, Lane: lane, Signal: signal, Until: cond, MaxCycles: maxCycles})
 }

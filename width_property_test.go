@@ -1,5 +1,5 @@
 // Property test for the batch width analysis: across the full differential
-// corpus (the same 24 random designs TestDifferentialCrossEngine fuzzes),
+// corpus (the same profile × seed sweep TestDifferentialCrossEngine runs),
 // every LI slot the analysis classifies as provably 1-bit must in fact
 // never hold a value above 1 — at reset and after every cycle of random
 // stimulus. The packed batch layout stores exactly these slots one lane per
@@ -9,10 +9,10 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"rteaal/internal/dfg"
+	"rteaal/internal/difftest"
 	"rteaal/internal/kernel"
 	"rteaal/internal/oim"
 	"rteaal/internal/testbench"
@@ -20,58 +20,60 @@ import (
 
 func TestWidthAnalysisOneBitProperty(t *testing.T) {
 	classified, checked := 0, 0
-	for seed := int64(0); seed < diffSeeds; seed++ {
-		g := dfg.RandomGraph(rand.New(rand.NewSource(seed)), diffParams(seed))
-		opt, err := dfg.Optimize(g, dfg.DefaultOptOptions())
-		if err != nil {
-			t.Fatal(err)
-		}
-		lv, err := dfg.Levelize(opt)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ten, err := oim.Build(lv)
-		if err != nil {
-			t.Fatal(err)
-		}
-		one := kernel.OneBitSlots(ten)
-		var slots []int32
-		for s, ok := range one {
-			if ok {
-				slots = append(slots, int32(s))
+	for _, prof := range difftest.Profiles() {
+		for seed := int64(0); seed < diffSeedsPerProfile; seed++ {
+			tc := difftest.NewCase(seed, prof, diffCycles, diffLanes)
+			opt, err := dfg.Optimize(tc.Graph, dfg.DefaultOptOptions())
+			if err != nil {
+				t.Fatal(err)
 			}
-		}
-		classified += len(slots)
-		if len(slots) == 0 {
-			continue
-		}
-		// A wide (unpacked) batch exposes every slot's full stored value;
-		// the property must hold in the layout that cannot hide violations.
-		b, err := kernel.NewBatch(ten, diffLanes)
-		if err != nil {
-			t.Fatal(err)
-		}
-		check := func(when string) {
-			for lane := 0; lane < diffLanes; lane++ {
-				for _, s := range slots {
-					if v := b.PeekSlot(lane, s); v > 1 {
-						t.Fatalf("seed %d %s lane %d: slot %d classified 1-bit holds %d\n%s",
-							seed, when, lane, s, v, reproLine(seed))
+			lv, err := dfg.Levelize(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ten, err := oim.Build(lv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			one := kernel.OneBitSlots(ten)
+			var slots []int32
+			for s, ok := range one {
+				if ok {
+					slots = append(slots, int32(s))
+				}
+			}
+			classified += len(slots)
+			if len(slots) == 0 {
+				continue
+			}
+			// A wide (unpacked) batch exposes every slot's full stored value;
+			// the property must hold in the layout that cannot hide violations.
+			b, err := kernel.NewBatch(ten, diffLanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(when string) {
+				for lane := 0; lane < diffLanes; lane++ {
+					for _, s := range slots {
+						if v := b.PeekSlot(lane, s); v > 1 {
+							t.Fatalf("%s seed %d %s lane %d: slot %d classified 1-bit holds %d\n%s",
+								prof.Name, seed, when, lane, s, v, reproLine(tc, prof.Name, seed))
+						}
+						checked++
 					}
-					checked++
 				}
 			}
-		}
-		check("after reset")
-		stim := testbench.Random(seed*47 + 3)
-		for c := int64(0); c < diffCycles; c++ {
-			for lane := 0; lane < diffLanes; lane++ {
-				for in := range ten.InputSlots {
-					b.PokeInput(lane, in, stim.Value(c, lane, in))
+			check("after reset")
+			stim := testbench.Random(tc.StimSeed)
+			for c := int64(0); c < diffCycles; c++ {
+				for lane := 0; lane < diffLanes; lane++ {
+					for in := range ten.InputSlots {
+						b.PokeInput(lane, in, stim.Value(c, lane, in))
+					}
 				}
+				b.Step()
+				check(fmt.Sprintf("cycle %d", c))
 			}
-			b.Step()
-			check(fmt.Sprintf("cycle %d", c))
 		}
 	}
 	if classified == 0 {
